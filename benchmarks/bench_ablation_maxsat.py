@@ -1,0 +1,88 @@
+"""Ablation: Fu-Malik MaxSAT vs the specialized budget solver.
+
+DESIGN.md, Section 5: the faithful Fu-Malik reimplementation (the
+paper used Z3's) and the exact budget-allocation DP must agree on the
+optimum for treaty instances; the DP is orders of magnitude faster,
+which is why the simulator uses it.
+"""
+
+import random
+import time
+
+from _common import once, print_table
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.solver.fastmaxsat import BudgetInstance, solve_budget_allocation
+from repro.solver.maxsat import fu_malik_maxsat
+
+
+def _instances(n, rng):
+    out = []
+    for _ in range(n):
+        sites = [f"s{k}" for k in range(rng.randint(2, 3))]
+        out.append(
+            BudgetInstance(
+                sites=sites,
+                required_total=rng.randint(-10, 20),
+                soft_upper={
+                    s: [rng.randint(-5, 15) for _ in range(rng.randint(1, 4))]
+                    for s in sites
+                },
+            )
+        )
+    return out
+
+
+def _fumalik_equivalent(inst):
+    hard = [
+        LinearConstraint.make(
+            LinearExpr.make({s: -1 for s in inst.sites}), "<=", -inst.required_total
+        )
+    ]
+    soft = [
+        LinearConstraint.make(LinearExpr.make({s: 1}), "<=", u)
+        for s in inst.sites
+        for u in inst.soft_upper[s]
+    ]
+    return hard, soft
+
+
+def test_ablation_maxsat_engines(benchmark):
+    rng = random.Random(2024)
+    instances = _instances(25, rng)
+
+    def run():
+        agreements = 0
+        fast_time = 0.0
+        fumalik_time = 0.0
+        for inst in instances:
+            t0 = time.perf_counter()
+            fast = solve_budget_allocation(inst)
+            fast_time += time.perf_counter() - t0
+
+            hard, soft = _fumalik_equivalent(inst)
+            t0 = time.perf_counter()
+            fm = fu_malik_maxsat(hard, soft)
+            fumalik_time += time.perf_counter() - t0
+
+            if len(soft) - fm.cost == fast.satisfied:
+                agreements += 1
+        return agreements, fast_time, fumalik_time
+
+    agreements, fast_time, fumalik_time = once(benchmark, run)
+
+    print_table(
+        "Ablation: MaxSAT engines on treaty instances",
+        ["engine", "total time (s)", "per instance (ms)"],
+        [
+            ["budget DP", fast_time, 1000 * fast_time / len(instances)],
+            ["Fu-Malik", fumalik_time, 1000 * fumalik_time / len(instances)],
+        ],
+    )
+    print(f"optimum agreement: {agreements}/{len(instances)}")
+
+    assert agreements == len(instances), "engines must find equal optima"
+    assert fast_time * 10 < fumalik_time, (
+        "the specialized solver should be at least 10x faster "
+        f"({fast_time:.4f}s vs {fumalik_time:.4f}s)"
+    )

@@ -1,0 +1,73 @@
+"""Ablation: treaty strategies (frozen / equal-split / optimized).
+
+DESIGN.md, Section 5: the Theorem 4.3 default degenerates to
+distributed locking (every write negotiates); the demarcation-style
+equal split is optimal for uniform workloads; Algorithm 1's
+workload-driven optimization matches equal-split on uniform loads and
+beats it under site skew -- the paper's core claim for automatic
+treaty generation.
+"""
+
+import random
+
+from _common import once, print_table
+
+from repro.workloads.micro import MicroWorkload
+
+
+def _sync_ratio(strategy, site_weights, n=2500, seed=17):
+    workload = MicroWorkload(
+        num_items=40,
+        refill=100,
+        num_sites=2,
+        site_weights=dict(site_weights),
+        initial_qty="random",
+        init_seed=seed,
+    )
+    cluster = workload.build_homeostasis(
+        strategy=strategy, lookahead=60, cost_factor=4, seed=seed
+    )
+    rng = random.Random(seed)
+    for _ in range(n):
+        req = workload.next_request(rng)
+        cluster.submit(req.tx_name, req.params)
+    return cluster.stats.sync_ratio
+
+
+def test_ablation_treaty_strategies(benchmark):
+    def run():
+        out = {}
+        for label, weights in (("uniform", {0: 1.0, 1: 1.0}), ("skew-90/10", {0: 0.9, 1: 0.1})):
+            for strategy in ("default", "equal-split", "optimized"):
+                out[(label, strategy)] = _sync_ratio(strategy, weights)
+        return out
+
+    results = once(benchmark, run)
+
+    rows = [
+        [label]
+        + [results[(label, s)] * 100 for s in ("default", "equal-split", "optimized")]
+        for label in ("uniform", "skew-90/10")
+    ]
+    print_table(
+        "Ablation: synchronization ratio by treaty strategy (%)",
+        ["workload", "default", "equal-split", "optimized"],
+        rows,
+    )
+
+    for label in ("uniform", "skew-90/10"):
+        # Theorem 4.3's default = sync on every write.
+        assert results[(label, "default")] == 1.0
+        # Both real strategies are far below.
+        assert results[(label, "equal-split")] < 0.2
+        assert results[(label, "optimized")] < 0.2
+    # Under skew, the workload-optimized treaties beat the equal split.
+    assert (
+        results[("skew-90/10", "optimized")]
+        < results[("skew-90/10", "equal-split")]
+    ), "Algorithm 1 should adapt budgets to site skew"
+    # On uniform load they are comparable (within 2x).
+    uniform_ratio = (
+        results[("uniform", "optimized")] / results[("uniform", "equal-split")]
+    )
+    assert uniform_ratio < 2.0

@@ -1,0 +1,55 @@
+"""Figure 10: microbenchmark latency percentiles vs network RTT.
+
+Paper's shape (Nr = 2, Nc = 16): under homeostasis ~97% of
+transactions execute locally in a few ms; the violating tail costs
+about two RTTs (plus solver time, which puts homeo slightly above OPT
+at the far right).  2PC latency is consistently ~2 RTT for *every*
+transaction; LOCAL stays at local service time regardless of RTT.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, assert_factor, once, print_table
+
+from repro.sim.experiments import run_micro
+
+
+def _run_all():
+    out = {}
+    for rtt in (50.0, 200.0):
+        for mode in ("homeo", "opt", "2pc", "local"):
+            out[(mode, rtt)] = run_micro(
+                mode, rtt_ms=rtt, max_txns=MICRO_TXNS, num_items=MICRO_ITEMS
+            )
+    return out
+
+
+def test_fig10_latency_vs_rtt(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for (mode, rtt), res in sorted(results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        s = res.latency_stats()
+        rows.append(
+            [f"{mode}-t{rtt:.0f}", s.p50, s.p90, s.p97, s.p99, res.sync_ratio * 100]
+        )
+    print_table(
+        "Figure 10: latency percentiles vs RTT (ms; sync ratio %)",
+        ["series", "p50", "p90", "p97", "p99", "sync%"],
+        rows,
+    )
+
+    for rtt in (50.0, 200.0):
+        homeo = results[("homeo", rtt)].latency_stats()
+        opt = results[("opt", rtt)].latency_stats()
+        two_pc = results[("2pc", rtt)].latency_stats()
+        local = results[("local", rtt)].latency_stats()
+        # ~97% of homeostasis transactions run at local latency.
+        assert homeo.p90 < 20.0, f"homeo p90 should be local-ish at rtt={rtt}"
+        # The violating tail costs about 2 RTT.
+        assert homeo.p100 >= 2 * rtt
+        # 2PC pays ~2 RTT on the median.
+        assert 1.8 * rtt <= two_pc.p50 <= 3.0 * rtt
+        # LOCAL is RTT-independent and far below 2PC.
+        assert local.p99 < 25.0
+        assert_factor(two_pc.p50, homeo.p50, 10.0, f"2pc vs homeo p50 at rtt={rtt}")
+        # Homeostasis tail >= OPT tail (solver overhead), Section 6.1.
+        assert homeo.p100 >= opt.p100 - 1e-6

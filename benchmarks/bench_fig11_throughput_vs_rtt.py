@@ -1,0 +1,51 @@
+"""Figure 11: microbenchmark throughput per replica vs network RTT.
+
+Paper's shape: homeostasis achieves 100x-1000x the throughput of 2PC
+(larger factors at larger RTTs), tracks LOCAL within a small factor,
+and decays mildly with RTT while 2PC decays proportionally to 1/RTT.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, assert_factor, assert_monotone, once, print_table
+
+from repro.sim.experiments import run_micro
+
+RTTS = (50.0, 100.0, 200.0)
+
+
+def _run_all():
+    return {
+        (mode, rtt): run_micro(mode, rtt_ms=rtt, max_txns=MICRO_TXNS, num_items=MICRO_ITEMS)
+        for rtt in RTTS
+        for mode in ("homeo", "opt", "2pc", "local")
+    }
+
+
+def test_fig11_throughput_vs_rtt(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for rtt in RTTS:
+        rows.append(
+            [f"{rtt:.0f}ms"]
+            + [results[(m, rtt)].throughput_per_replica() for m in ("homeo", "opt", "2pc", "local")]
+        )
+    print_table(
+        "Figure 11: throughput per replica vs RTT (txn/s)",
+        ["RTT", "homeo", "opt", "2pc", "local"],
+        rows,
+    )
+
+    for rtt in RTTS:
+        homeo = results[("homeo", rtt)].throughput_per_replica()
+        two_pc = results[("2pc", rtt)].throughput_per_replica()
+        local = results[("local", rtt)].throughput_per_replica()
+        assert_factor(homeo, two_pc, 10.0, f"homeo vs 2pc at rtt={rtt}")
+        assert local >= homeo  # LOCAL is the ceiling
+
+    # 2PC throughput decays with RTT; LOCAL does not (tolerate noise).
+    assert_monotone(
+        [results[("2pc", rtt)].throughput_per_replica() for rtt in RTTS],
+        increasing=False, label="2pc vs RTT", tolerance=0.10,
+    )
+    local_values = [results[("local", rtt)].throughput_per_replica() for rtt in RTTS]
+    assert max(local_values) / min(local_values) < 1.25

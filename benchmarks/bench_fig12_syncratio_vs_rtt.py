@@ -1,0 +1,48 @@
+"""Figure 12: synchronization ratio vs network RTT.
+
+Paper's shape: the fraction of transactions requiring synchronization
+is a property of the *workload* (stock consumption vs treaty
+budgets), not of the network: both homeostasis and OPT sit in the
+low single digits across RTTs, nearly identical -- the evidence that
+Algorithm 1's treaties are near-optimal for uniform workloads.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table
+
+from repro.sim.experiments import run_micro
+
+RTTS = (50.0, 100.0, 200.0)
+
+
+def _run_all():
+    return {
+        (mode, rtt): run_micro(mode, rtt_ms=rtt, max_txns=MICRO_TXNS, num_items=MICRO_ITEMS)
+        for rtt in RTTS
+        for mode in ("homeo", "opt")
+    }
+
+
+def test_fig12_syncratio_vs_rtt(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [f"{rtt:.0f}ms"]
+        + [results[(m, rtt)].sync_ratio * 100 for m in ("homeo", "opt")]
+        for rtt in RTTS
+    ]
+    print_table(
+        "Figure 12: synchronization ratio vs RTT (%)",
+        ["RTT", "homeo", "opt"],
+        rows,
+    )
+
+    for rtt in RTTS:
+        homeo = results[("homeo", rtt)].sync_ratio
+        opt = results[("opt", rtt)].sync_ratio
+        # Single-digit percentages, like the paper's 2-4%.
+        assert 0.0 < homeo < 0.10, f"homeo sync ratio {homeo:.2%} at rtt={rtt}"
+        assert 0.0 < opt < 0.10
+        # Near-identical: within a factor 2 of each other.
+        assert 0.5 <= (homeo / opt) <= 2.0, (
+            f"homeo {homeo:.2%} vs opt {opt:.2%} at rtt={rtt}"
+        )

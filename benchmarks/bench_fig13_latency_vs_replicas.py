@@ -1,0 +1,50 @@
+"""Figure 13: microbenchmark latency percentiles vs replica count.
+
+Paper's shape (RTT = 100 ms, Nc = 16): more replicas mean smaller
+per-site treaty budgets, hence more frequent violations -- the latency
+tail begins earlier for Nr = 5 than Nr = 2.  2PC latency is ~2 RTT at
+any replica count; the homeostasis median stays at local latency.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table
+
+from repro.sim.experiments import run_micro
+
+
+def _run_all():
+    return {
+        (mode, nr): run_micro(
+            mode, rtt_ms=100.0, num_replicas=nr,
+            max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+        )
+        for nr in (2, 5)
+        for mode in ("homeo", "opt", "2pc", "local")
+    }
+
+
+def test_fig13_latency_vs_replicas(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for (mode, nr), res in sorted(results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        s = res.latency_stats()
+        rows.append([f"{mode}-r{nr}", s.p50, s.p90, s.p97, s.p99, res.sync_ratio * 100])
+    print_table(
+        "Figure 13: latency percentiles vs replicas (ms; sync ratio %)",
+        ["series", "p50", "p90", "p97", "p99", "sync%"],
+        rows,
+    )
+
+    for nr in (2, 5):
+        homeo = results[("homeo", nr)].latency_stats()
+        two_pc = results[("2pc", nr)].latency_stats()
+        assert homeo.p50 < 10.0
+        assert two_pc.p50 >= 180.0
+    # More replicas -> more violations -> fatter tail for homeostasis.
+    sync2 = results[("homeo", 2)].sync_ratio
+    sync5 = results[("homeo", 5)].sync_ratio
+    assert sync5 > sync2, f"sync ratio should grow with replicas: {sync2:.2%} vs {sync5:.2%}"
+    assert (
+        results[("homeo", 5)].latency_stats().p97
+        >= results[("homeo", 2)].latency_stats().p97
+    )

@@ -1,0 +1,52 @@
+"""Figure 14: microbenchmark throughput per replica vs replica count.
+
+Paper's shape: per-replica throughput decreases for every mode as the
+degree of replication grows (smaller treaty shares for homeostasis /
+OPT, more participants per commit for 2PC), while homeostasis stays
+orders of magnitude above 2PC throughout.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, assert_factor, assert_monotone, once, print_table
+
+from repro.sim.experiments import run_micro
+
+REPLICAS = (2, 3, 5)
+
+
+def _run_all():
+    return {
+        (mode, nr): run_micro(
+            mode, rtt_ms=100.0, num_replicas=nr,
+            max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+        )
+        for nr in REPLICAS
+        for mode in ("homeo", "opt", "2pc", "local")
+    }
+
+
+def test_fig14_throughput_vs_replicas(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [nr]
+        + [results[(m, nr)].throughput_per_replica() for m in ("homeo", "opt", "2pc", "local")]
+        for nr in REPLICAS
+    ]
+    print_table(
+        "Figure 14: throughput per replica vs replicas (txn/s)",
+        ["Nr", "homeo", "opt", "2pc", "local"],
+        rows,
+    )
+
+    for nr in REPLICAS:
+        assert_factor(
+            results[("homeo", nr)].throughput_per_replica(),
+            results[("2pc", nr)].throughput_per_replica(),
+            8.0,
+            f"homeo vs 2pc at Nr={nr}",
+        )
+    assert_monotone(
+        [results[("homeo", nr)].throughput_per_replica() for nr in REPLICAS],
+        increasing=False, label="homeo per-replica throughput vs Nr",
+        tolerance=0.15,
+    )

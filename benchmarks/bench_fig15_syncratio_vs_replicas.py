@@ -1,0 +1,49 @@
+"""Figure 15: synchronization ratio vs replica count.
+
+Paper's shape: each replica's treaty share shrinks as 1/Nr, so
+violations come sooner and the synchronization ratio rises with the
+degree of replication, for homeostasis and OPT alike.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, assert_monotone, once, print_table
+
+from repro.sim.experiments import run_micro
+
+REPLICAS = (2, 3, 5)
+
+
+def _run_all():
+    return {
+        (mode, nr): run_micro(
+            mode, rtt_ms=100.0, num_replicas=nr,
+            max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+        )
+        for nr in REPLICAS
+        for mode in ("homeo", "opt")
+    }
+
+
+def test_fig15_syncratio_vs_replicas(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [nr] + [results[(m, nr)].sync_ratio * 100 for m in ("homeo", "opt")]
+        for nr in REPLICAS
+    ]
+    print_table(
+        "Figure 15: synchronization ratio vs replicas (%)",
+        ["Nr", "homeo", "opt"],
+        rows,
+    )
+
+    assert_monotone(
+        [results[("homeo", nr)].sync_ratio for nr in REPLICAS],
+        increasing=True, label="homeo sync ratio vs Nr", tolerance=0.20,
+    )
+    assert_monotone(
+        [results[("opt", nr)].sync_ratio for nr in REPLICAS],
+        increasing=True, label="opt sync ratio vs Nr", tolerance=0.20,
+    )
+    # Still single-digit percentages at every replica count.
+    for nr in REPLICAS:
+        assert results[("homeo", nr)].sync_ratio < 0.15

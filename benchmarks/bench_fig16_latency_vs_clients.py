@@ -1,0 +1,44 @@
+"""Figure 16: microbenchmark latency percentiles vs clients per replica.
+
+Paper's shape (Nr = 2, RTT = 100 ms): latency grows with the client
+count through data/CPU contention, but the profile stays dominated by
+the network split -- homeostasis local vs 2PC's 2-RTT floor.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table
+
+from repro.sim.experiments import run_micro
+
+
+def _run_all():
+    return {
+        (mode, nc): run_micro(
+            mode, rtt_ms=100.0, clients_per_replica=nc,
+            max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+        )
+        for nc in (1, 32)
+        for mode in ("homeo", "opt", "2pc", "local")
+    }
+
+
+def test_fig16_latency_vs_clients(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for (mode, nc), res in sorted(results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        s = res.latency_stats()
+        rows.append([f"{mode}-c{nc}", s.p50, s.p90, s.p97, s.p99])
+    print_table(
+        "Figure 16: latency percentiles vs clients (ms)",
+        ["series", "p50", "p90", "p97", "p99"],
+        rows,
+    )
+
+    for nc in (1, 32):
+        assert results[("homeo", nc)].latency_stats().p50 < 12.0
+        assert results[("2pc", nc)].latency_stats().p50 >= 180.0
+    # Contention: more clients -> higher high-percentile local latency.
+    assert (
+        results[("local", 32)].latency_stats().p99
+        >= results[("local", 1)].latency_stats().p99
+    )

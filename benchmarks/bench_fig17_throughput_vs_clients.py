@@ -1,0 +1,58 @@
+"""Figure 17: microbenchmark throughput per replica vs clients.
+
+Paper's shape: throughput scales with the client count until the
+replica's cores saturate (32 vCPUs in the paper; the local curve
+plateaus or dips around that point), while 2PC scales only linearly
+in clients at a ~2-RTT service time, staying far below.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, assert_factor, once, print_table
+
+from repro.sim.experiments import run_micro
+
+CLIENTS = (1, 4, 16, 32, 128)
+
+
+def _run_all():
+    out = {}
+    for nc in CLIENTS:
+        for mode in ("homeo", "opt", "2pc", "local"):
+            out[(mode, nc)] = run_micro(
+                mode, rtt_ms=100.0, clients_per_replica=nc,
+                max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+            )
+    return out
+
+
+def test_fig17_throughput_vs_clients(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [nc]
+        + [results[(m, nc)].throughput_per_replica() for m in ("homeo", "opt", "2pc", "local")]
+        for nc in CLIENTS
+    ]
+    print_table(
+        "Figure 17: throughput per replica vs clients (txn/s)",
+        ["Nc", "homeo", "opt", "2pc", "local"],
+        rows,
+    )
+
+    # Scaling at low client counts.
+    assert (
+        results[("local", 16)].throughput_per_replica()
+        > 4 * results[("local", 1)].throughput_per_replica()
+    )
+    # Core saturation: going 32 -> 128 clients must not quadruple
+    # throughput (the Figure 17 plateau).
+    t32 = results[("local", 32)].throughput_per_replica()
+    t128 = results[("local", 128)].throughput_per_replica()
+    assert t128 < 2.5 * t32
+    # 2PC is network-bound at every client count.
+    for nc in (16, 32):
+        assert_factor(
+            results[("homeo", nc)].throughput_per_replica(),
+            results[("2pc", nc)].throughput_per_replica(),
+            8.0,
+            f"homeo vs 2pc at Nc={nc}",
+        )

@@ -1,0 +1,44 @@
+"""Figure 18: synchronization ratio vs clients per replica.
+
+Paper's shape: the ratio stays in the low single digits across 1-128
+clients (it is governed by stock consumption per item, not by client
+parallelism), with homeostasis tracking OPT.
+"""
+
+from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table
+
+from repro.sim.experiments import run_micro
+
+CLIENTS = (1, 16, 128)
+
+
+def _run_all():
+    return {
+        (mode, nc): run_micro(
+            mode, rtt_ms=100.0, clients_per_replica=nc,
+            max_txns=MICRO_TXNS, num_items=MICRO_ITEMS,
+        )
+        for nc in CLIENTS
+        for mode in ("homeo", "opt")
+    }
+
+
+def test_fig18_syncratio_vs_clients(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [nc] + [results[(m, nc)].sync_ratio * 100 for m in ("homeo", "opt")]
+        for nc in CLIENTS
+    ]
+    print_table(
+        "Figure 18: synchronization ratio vs clients (%)",
+        ["Nc", "homeo", "opt"],
+        rows,
+    )
+
+    for nc in CLIENTS:
+        homeo = results[("homeo", nc)].sync_ratio
+        opt = results[("opt", nc)].sync_ratio
+        assert 0.0 < homeo < 0.10
+        assert 0.0 < opt < 0.10
+        assert 0.4 <= homeo / opt <= 2.5

@@ -1,0 +1,51 @@
+"""Figure 20: TPC-C New Order throughput per replica vs skew H.
+
+Paper's shape: both homeostasis and 2PC lose throughput as H grows
+(hot treaties violate more / hot locks conflict more), but the
+homeostasis curve stays far above 2PC at every skew.
+"""
+
+from _common import TPCC_TXNS, assert_factor, assert_monotone, once, print_table
+
+from repro.sim.experiments import run_tpcc
+
+HOTNESS = (5, 25, 50)
+
+
+def _run_all():
+    return {
+        (mode, h): run_tpcc(mode, hotness=h, max_txns=TPCC_TXNS)
+        for h in HOTNESS
+        for mode in ("homeo", "opt", "2pc")
+    }
+
+
+def test_fig20_tpcc_throughput_vs_skew(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [h]
+        + [
+            results[(m, h)].throughput_per_replica("NewOrder")
+            for m in ("homeo", "opt", "2pc")
+        ]
+        for h in HOTNESS
+    ]
+    print_table(
+        "Figure 20: TPC-C New Order throughput per replica vs H (txn/s)",
+        ["H", "homeo", "opt", "2pc"],
+        rows,
+    )
+
+    for h in HOTNESS:
+        assert_factor(
+            results[("homeo", h)].throughput_per_replica("NewOrder"),
+            results[("2pc", h)].throughput_per_replica("NewOrder"),
+            2.0,
+            f"homeo vs 2pc at H={h}",
+        )
+    # Throughput falls (or at best holds) as skew rises.
+    assert_monotone(
+        [results[("homeo", h)].throughput_per_replica("NewOrder") for h in HOTNESS],
+        increasing=False, label="homeo NO throughput vs H", tolerance=0.25,
+    )

@@ -1,0 +1,43 @@
+"""Figure 21: TPC-C New Order latency percentiles vs replica count.
+
+Paper's shape (Nc = 8, H = 10, replicas added in order UE, UW, IE,
+SG, BR): the maximum pairwise RTT grows with each added datacenter,
+shifting the violating tail upward; the local median is unaffected.
+The MySQL 1 s lock-wait floor produces the long 2PC tails.
+"""
+
+from _common import TPCC_TXNS, once, print_table
+
+from repro.sim.experiments import run_tpcc
+
+
+def _run_all():
+    return {
+        (mode, nr): run_tpcc(mode, hotness=10, num_replicas=nr, max_txns=TPCC_TXNS)
+        for nr in (2, 5)
+        for mode in ("homeo", "2pc")
+    }
+
+
+def test_fig21_tpcc_latency_vs_replicas(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for (mode, nr), res in sorted(results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        s = res.latency_stats("NewOrder")
+        rows.append([f"{mode}-r{nr}", s.p50, s.p90, s.p97, s.p99])
+    print_table(
+        "Figure 21: TPC-C New Order latency vs replicas (ms)",
+        ["series", "p50", "p90", "p97", "p99"],
+        rows,
+    )
+
+    # Homeostasis median remains local at both replica counts.
+    for nr in (2, 5):
+        assert results[("homeo", nr)].latency_stats("NewOrder").p50 < 10.0
+    # The violating tail tracks the max RTT: UE-UW is 64 ms, the
+    # 5-datacenter diameter is 372 ms (SG-BR).
+    tail2 = results[("homeo", 2)].latency_stats("NewOrder").p100
+    tail5 = results[("homeo", 5)].latency_stats("NewOrder").p100
+    assert tail5 > tail2
+    assert tail5 >= 2 * 372.0  # at least one 2-RTT negotiation at diameter

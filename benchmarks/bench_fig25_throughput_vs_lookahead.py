@@ -1,0 +1,43 @@
+"""Figure 25: throughput vs lookahead L for different REFILL values.
+
+Paper's shape (Appendix F.1): larger REFILL gives each item more
+slack, hence more flexible treaties, fewer violations and higher
+throughput -- rf1000 > rf100 > rf10 across lookahead settings.
+"""
+
+from _common import MICRO_TXNS, assert_factor, once, print_table
+
+from repro.sim.experiments import run_micro
+
+LOOKAHEADS = (20, 100)
+REFILLS = (10, 100, 1000)
+
+
+def _run_all():
+    return {
+        (refill, l): run_micro(
+            "homeo", rtt_ms=100.0, lookahead=l, refill=refill,
+            max_txns=MICRO_TXNS, num_items=150,
+        )
+        for refill in REFILLS
+        for l in LOOKAHEADS
+    }
+
+
+def test_fig25_throughput_vs_lookahead(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [l] + [results[(refill, l)].throughput_per_replica() for refill in REFILLS]
+        for l in LOOKAHEADS
+    ]
+    print_table(
+        "Figure 25: throughput per replica vs L (txn/s)",
+        ["L", "rf10", "rf100", "rf1000"],
+        rows,
+    )
+
+    for l in LOOKAHEADS:
+        rf10 = results[(10, l)].throughput_per_replica()
+        rf1000 = results[(1000, l)].throughput_per_replica()
+        assert_factor(rf1000, rf10, 1.5, f"rf1000 vs rf10 at L={l}")

@@ -1,0 +1,50 @@
+"""Figure 26: synchronization ratio vs lookahead L for REFILL values.
+
+Paper's shape (Appendix F.1): the synchronization ratio is dominated
+by REFILL (rf10 violates an order of magnitude more often than
+rf1000); larger lookahead finds better treaties, weakly reducing the
+ratio.
+"""
+
+from _common import MICRO_TXNS, once, print_table
+
+from repro.sim.experiments import run_micro
+
+LOOKAHEADS = (20, 100)
+REFILLS = (10, 100, 1000)
+
+
+def _run_all():
+    return {
+        (refill, l): run_micro(
+            "homeo", rtt_ms=100.0, lookahead=l, refill=refill,
+            max_txns=MICRO_TXNS, num_items=150,
+        )
+        for refill in REFILLS
+        for l in LOOKAHEADS
+    }
+
+
+def test_fig26_syncratio_vs_lookahead(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [l] + [results[(refill, l)].sync_ratio * 100 for refill in REFILLS]
+        for l in LOOKAHEADS
+    ]
+    print_table(
+        "Figure 26: synchronization ratio vs L (%)",
+        ["L", "rf10", "rf100", "rf1000"],
+        rows,
+    )
+
+    for l in LOOKAHEADS:
+        rf10 = results[(10, l)].sync_ratio
+        rf100 = results[(100, l)].sync_ratio
+        rf1000 = results[(1000, l)].sync_ratio
+        # Ordering: more slack, fewer violations.
+        assert rf10 > rf100 > rf1000 > 0.0, (
+            f"L={l}: expected rf10 > rf100 > rf1000, got "
+            f"{rf10:.2%} / {rf100:.2%} / {rf1000:.2%}"
+        )
+        assert rf10 > 4 * rf1000

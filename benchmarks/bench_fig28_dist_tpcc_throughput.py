@@ -1,0 +1,75 @@
+"""Figure 28: distributed TPC-C overall system throughput vs skew H.
+
+Paper's setup (Appendix F.2): the database is partitioned across
+machines (one per warehouse) and replicated across two datacenters;
+mix 49/49/2.  Paper's shape: homeostasis achieves ~80% of OPT's
+throughput and roughly an order of magnitude more than the estimated
+2PC bound; throughput falls as H grows.
+"""
+
+from _common import assert_factor, assert_monotone, once, print_table
+
+from repro.sim.experiments import run_tpcc
+
+HOTNESS = (1, 50)
+DIST_MIX = (0.49, 0.49, 0.02)
+
+
+def _run(mode, h, clients=8):
+    return run_tpcc(
+        mode,
+        hotness=h,
+        num_warehouses=3,  # scaled-down stand-in for 10 machines
+        num_districts=2,
+        items_per_district=60,
+        mix=DIST_MIX,
+        clients_per_replica=clients,
+        max_txns=1_500,
+    )
+
+
+def _run_all():
+    out = {}
+    for h in HOTNESS:
+        out[("homeo", h)] = _run("homeo", h)
+        out[("opt", h)] = _run("opt", h)
+        out[("2pc-c1", h)] = _run("2pc", h, clients=1)
+    return out
+
+
+def test_fig28_dist_tpcc_throughput(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = []
+    for h in HOTNESS:
+        homeo = results[("homeo", h)].total_throughput()
+        opt = results[("opt", h)].total_throughput()
+        est = 8 * results[("2pc-c1", h)].total_throughput()
+        rows.append([h, homeo, opt, est])
+    print_table(
+        "Figure 28: distributed TPC-C overall throughput vs H (txn/s)",
+        ["H", "homeo", "opt", "2pc(est)"],
+        rows,
+    )
+
+    for h in HOTNESS:
+        homeo = results[("homeo", h)].total_throughput()
+        opt = results[("opt", h)].total_throughput()
+        est = 8 * results[("2pc-c1", h)].total_throughput()
+        # Homeostasis reaches a large fraction of OPT...
+        assert homeo >= 0.5 * opt, f"homeo {homeo:.0f} vs opt {opt:.0f} at H={h}"
+        # ...and beats the optimistic linear-scaling 2PC estimate at
+        # every skew (by a wide margin at low skew; at H = 50 our
+        # reduced hot-item population makes negotiation queues bite
+        # harder than the paper's, so the bar there is parity).
+        assert homeo > est, f"homeo {homeo:.0f} vs 2pc(est) {est:.0f} at H={h}"
+    assert_factor(
+        results[("homeo", 1)].total_throughput(),
+        8 * results[("2pc-c1", 1)].total_throughput(),
+        2.0,
+        "homeo vs 2pc(est) at low skew",
+    )
+    assert_monotone(
+        [results[("homeo", h)].total_throughput() for h in HOTNESS],
+        increasing=False, label="homeo throughput vs H", tolerance=0.25,
+    )

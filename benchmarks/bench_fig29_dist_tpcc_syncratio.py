@@ -1,0 +1,57 @@
+"""Figure 29: distributed TPC-C synchronization ratio vs skew H.
+
+Paper's shape (Appendix F.2): the fraction of transactions requiring
+synchronization rises with H for both homeostasis and OPT, with
+homeostasis somewhat above OPT (its automatically derived treaties
+are near but not exactly the hand-crafted optimum); both stay in the
+single-digit range.
+"""
+
+from _common import assert_monotone, once, print_table
+
+from repro.sim.experiments import run_tpcc
+
+HOTNESS = (1, 25, 50)
+DIST_MIX = (0.49, 0.49, 0.02)
+
+
+def _run_all():
+    return {
+        (mode, h): run_tpcc(
+            mode,
+            hotness=h,
+            num_warehouses=3,
+            num_districts=2,
+            items_per_district=60,
+            mix=DIST_MIX,
+            clients_per_replica=8,
+            max_txns=1_500,
+        )
+        for h in HOTNESS
+        for mode in ("homeo", "opt")
+    }
+
+
+def test_fig29_dist_tpcc_syncratio(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [
+        [h] + [results[(m, h)].sync_ratio * 100 for m in ("homeo", "opt")]
+        for h in HOTNESS
+    ]
+    print_table(
+        "Figure 29: distributed TPC-C synchronization ratio vs H (%)",
+        ["H", "homeo", "opt"],
+        rows,
+    )
+
+    assert_monotone(
+        [results[("homeo", h)].sync_ratio for h in HOTNESS],
+        increasing=True, label="homeo sync ratio vs H", tolerance=0.25,
+    )
+    for h in HOTNESS:
+        homeo = results[("homeo", h)].sync_ratio
+        opt = results[("opt", h)].sync_ratio
+        assert 0.0 < homeo < 0.25
+        assert 0.0 < opt < 0.25
+        assert homeo >= 0.5 * opt  # same order of magnitude

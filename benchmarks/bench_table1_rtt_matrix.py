@@ -1,0 +1,31 @@
+"""Table 1: average RTTs between Amazon datacenters (milliseconds).
+
+An input table in the paper; reproduced here as the simulator's
+network model, with the symmetry/triangle sanity checks the
+experiments rely on.
+"""
+
+from _common import once, print_table
+
+from repro.sim.network import DATACENTERS, TABLE1_RTT_MS, max_rtt, rtt_matrix_for
+
+
+def test_table1_rtt_matrix(benchmark):
+    matrix = once(benchmark, lambda: rtt_matrix_for(5))
+
+    rows = []
+    for i, a in enumerate(DATACENTERS):
+        rows.append([a] + [f"{matrix[i][j]:.0f}" for j in range(5)])
+    print_table("Table 1: RTT between datacenters (ms)", ["", *DATACENTERS], rows)
+
+    # Symmetry and the paper's headline values.
+    for i in range(5):
+        for j in range(5):
+            assert matrix[i][j] == matrix[j][i]
+    assert TABLE1_RTT_MS[("UE", "UW")] == 64.0
+    assert TABLE1_RTT_MS[("SG", "BR")] == 372.0
+    assert max_rtt(rtt_matrix_for(2)) == 64.0  # UE+UW deployment
+    assert max_rtt(rtt_matrix_for(5)) == 372.0
+    # Adding replicas in paper order increases the sync-round cost.
+    costs = [max_rtt(rtt_matrix_for(n)) for n in range(2, 6)]
+    assert costs == sorted(costs)

@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+Makes the shared helpers importable regardless of invocation
+directory and registers the ``paper_check`` summary hook.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

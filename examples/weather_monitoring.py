@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Appendix D: treaties beyond top-k -- the weather examples.
+
+The paper's argument for automation: the "top-k of minimums" and
+"top-k temperature differences" programs have treaties that are *in
+principle* derivable by hand, but the case analysis is error-prone;
+the symbolic-table analysis produces it mechanically.  This example
+prints the derived case structures and demonstrates which inserts
+are observable (treaty-violating) versus silent.
+
+Run:  python examples/weather_monitoring.py
+"""
+
+from repro.lang.interp import evaluate
+from repro.workloads.weather import WeatherWorkload
+
+
+def case_structure(table, title):
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(f"{len(table.rows)} behavioural cases derived:")
+    for i, row in enumerate(table.rows):
+        print(f"  case {i}: {row.guard.pretty()}")
+    print()
+
+
+def main() -> None:
+    workload = WeatherWorkload(num_days=3)
+
+    lows = workload.top2_lows_table()
+    case_structure(
+        lows,
+        "Top-2 of minimums: insert a temperature, print the 2 highest "
+        "record lows",
+    )
+
+    print("Which observations change the printed top-2?")
+    db = {"daymin[0]": -5, "daymin[1]": 2, "daymin[2]": 7}
+    print(f"  record lows: {db}")
+    for day, temp in ((0, 0), (0, -9), (2, 5), (1, -1)):
+        params = {"day": day, "temp": temp}
+        before = evaluate(workload.top2_lows(), db, params=params)
+        row = lows.lookup(lambda n: db.get(n, 0), params=params)
+        silent = "daymin" not in row.residual.pretty().split("print")[0]
+        marker = "silent " if silent else "OBSERVABLE"
+        print(f"  day {day}, temp {temp:3d} -> {marker}  log {before.log}")
+
+    print()
+    diffs = workload.top2_diffs_table()
+    case_structure(
+        diffs,
+        "Top-2 temperature differences: the harder Appendix D case",
+    )
+    print(
+        "The paper: 'It is unclear how much more complexity can be added\n"
+        "without overwhelming the human and introducing errors. [...] our\n"
+        "analysis can compute correct symbolic tables and local treaties\n"
+        f"for both examples automatically.'  ({len(diffs.rows)} cases here.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy build shim: the offline environment lacks the `wheel` package
+required by PEP 517 editable installs, so `pip install -e .` goes through
+this setup.py with metadata sourced from pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of "The Homeostasis Protocol: Avoiding Transaction
+Coordination Through Program Analysis" (Roy et al., SIGMOD 2015).
+
+The package implements the paper's full pipeline from scratch:
+
+- :mod:`repro.lang` -- the transaction languages L / L++ (parser,
+  interpreter, Appendix A desugaring);
+- :mod:`repro.logic` -- the formula substrate (terms, formulas,
+  linear normal forms, the Appendix C.1 preprocessing);
+- :mod:`repro.analysis` -- symbolic tables (Figure 6), joint tables,
+  independence factorization, residual optimization, LR-slices;
+- :mod:`repro.solver` -- exact rational simplex, branch-and-bound
+  ILP, Fu-Malik MaxSAT and the specialized budget solver (the paper
+  used Z3; this reproduction is self-contained);
+- :mod:`repro.treaty` -- treaty templates, Theorem 4.3 / equal-split
+  / Algorithm 1 configurations, treaty tables;
+- :mod:`repro.storage` -- the per-site transactional engine (strict
+  2PL, undo log, relational veneer; the paper used MySQL);
+- :mod:`repro.protocol` -- the homeostasis protocol kernel, the
+  Appendix B remote-write transform, and the LOCAL / 2PC baselines;
+- :mod:`repro.sim` -- the discrete-event performance harness
+  (replaces the paper's EC2 deployment);
+- :mod:`repro.workloads` -- the microbenchmark, the TPC-C subset,
+  top-k, and the Appendix D weather examples.
+
+Quickstart (see also ``examples/quickstart.py``)::
+
+    from repro import analyze, parse_transaction
+
+    tx = parse_transaction('''
+        transaction T(p) {
+          q := read(stock(@p));
+          if q > 0 then { write(stock(@p) = q - 1) }
+          else { write(stock(@p) = 99) }
+        }
+    ''')
+    table = analyze(tx)
+    print(table.pretty())
+"""
+
+from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
+from repro.lang.interp import evaluate
+from repro.lang.parser import parse_program, parse_transaction
+from repro.protocol.homeostasis import HomeostasisCluster, TreatyGenerator
+
+__version__ = "1.0.0"
+
+
+def analyze(transaction, simplify: bool = True) -> SymbolicTable:
+    """Compute the symbolic table of a transaction (Section 2.3)."""
+    return build_symbolic_table(transaction, simplify=simplify)
+
+
+__all__ = [
+    "HomeostasisCluster",
+    "SymbolicTable",
+    "TreatyGenerator",
+    "analyze",
+    "build_symbolic_table",
+    "evaluate",
+    "parse_program",
+    "parse_transaction",
+    "__version__",
+]

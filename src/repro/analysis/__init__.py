@@ -1,0 +1,42 @@
+"""Program analysis: symbolic tables, joint tables, LR-slices.
+
+- :mod:`repro.analysis.symbolic` -- per-transaction symbolic tables
+  via the backward construction of Figure 6.
+- :mod:`repro.analysis.joint` -- joint tables for transaction sets
+  (the K+1-ary relation of Section 2.2).
+- :mod:`repro.analysis.factorize` -- SDD-1-style independence
+  factorization keeping joint tables small (Section 5.1).
+- :mod:`repro.analysis.slices` -- local-remote partitions, LR-slices
+  and observational equivalence (Definitions 3.2-3.7).
+"""
+
+from repro.analysis.symbolic import (
+    AnalysisError,
+    Row,
+    SymbolicTable,
+    build_symbolic_table,
+)
+from repro.analysis.joint import JointRow, JointSymbolicTable, build_joint_table
+from repro.analysis.factorize import FactorizedJointTable, factorize_workload
+from repro.analysis.slices import (
+    LocalRemotePartition,
+    is_lr_slice,
+    is_valid_global_treaty,
+    observationally_equivalent,
+)
+
+__all__ = [
+    "AnalysisError",
+    "FactorizedJointTable",
+    "JointRow",
+    "JointSymbolicTable",
+    "LocalRemotePartition",
+    "Row",
+    "SymbolicTable",
+    "build_joint_table",
+    "build_symbolic_table",
+    "factorize_workload",
+    "is_lr_slice",
+    "is_valid_global_treaty",
+    "observationally_equivalent",
+]

@@ -1,0 +1,287 @@
+"""Optimization of partially evaluated transactions (residuals).
+
+Two semantics-preserving passes over the straight-line residuals that
+symbolic table construction produces:
+
+1. **Linear write simplification** -- forward-substitute temporary
+   definitions into write/print expressions, lower to linear form and
+   cancel.  This is the "semantics-preserving program transformation"
+   of Appendix B that turns Figure 23b into Figure 23c: the write
+   ``w(dx1 = xh - 1 - r(x))`` with ``xh = r(x) + r(dx1)`` cancels the
+   remote read and becomes ``w(dx1 = r(dx1) - 1)``.  Non-linear
+   expressions are left untouched.
+
+2. **Dead assignment elimination** -- a backward liveness pass drops
+   assignments to temporaries never used afterwards.  This is what
+   makes Figure 4a's residual ``w(x = r(x) + 1)`` rather than
+   ``[xh := r(x); yh := r(y); w(x = xh + 1)]``, and it is essential
+   for Assumption 4.1: a dead remote read would otherwise force the
+   treaty generator to pin the remote object (Appendix C.3).
+
+Both passes assume straight-line code (no conditionals) -- exactly
+what residuals are.  Reads are pure in L, so dropping one is safe.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    ABin,
+    AConst,
+    AExp,
+    ANeg,
+    AParam,
+    ARead,
+    ATemp,
+    ArrayRef,
+    Assign,
+    Com,
+    GroundRef,
+    If,
+    Print,
+    Seq,
+    Skip,
+    Write,
+    aexp_to_term,
+    seq,
+)
+from repro.logic.linear import LinearizationError, linear_of_term
+from repro.logic.terms import (
+    Const,
+    IndexedObjT,
+    ObjT,
+    ParamT,
+    TempT,
+    Term,
+)
+
+
+class ResidualError(Exception):
+    """Raised when a residual is not straight-line code."""
+
+
+def _flatten(com: Com) -> list[Com]:
+    out: list[Com] = []
+    stack = [com]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Seq):
+            stack.append(node.second)
+            stack.append(node.first)
+        elif isinstance(node, Skip):
+            continue
+        elif isinstance(node, (Assign, Write, Print)):
+            out.append(node)
+        elif isinstance(node, If):
+            raise ResidualError("residuals must be straight-line (no conditionals)")
+        else:
+            raise ResidualError(f"unexpected node in residual: {node!r}")
+    return out
+
+
+def _term_to_aexp(term: Term) -> AExp:
+    """Render a term back into an L expression."""
+    if isinstance(term, Const):
+        return AConst(term.value)
+    if isinstance(term, ObjT):
+        return ARead(GroundRef(term.name))
+    if isinstance(term, IndexedObjT):
+        return ARead(ArrayRef(term.base, tuple(_term_to_aexp(ix) for ix in term.index)))
+    if isinstance(term, ParamT):
+        return AParam(term.name)
+    if isinstance(term, TempT):
+        return ATemp(term.name)
+    from repro.logic.terms import Add, Mul, Neg
+
+    if isinstance(term, Add):
+        return ABin("+", _term_to_aexp(term.left), _term_to_aexp(term.right))
+    if isinstance(term, Mul):
+        return ABin("*", _term_to_aexp(term.left), _term_to_aexp(term.right))
+    if isinstance(term, Neg):
+        return ANeg(_term_to_aexp(term.operand))
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _linear_to_aexp(variables: list[tuple[Term, int]], const: int) -> AExp:
+    """Render a cancelled linear combination as an expression."""
+    expr: AExp | None = None
+    for var, coeff in variables:
+        if coeff == 0:
+            continue
+        base = _term_to_aexp(var)
+        magnitude = abs(coeff)
+        piece: AExp = base if magnitude == 1 else ABin("*", AConst(magnitude), base)
+        if expr is None:
+            expr = piece if coeff > 0 else ANeg(piece)
+        elif coeff > 0:
+            expr = ABin("+", expr, piece)
+        else:
+            expr = ABin("-", expr, piece)
+    if expr is None:
+        return AConst(const)
+    if const != 0:
+        op = "+" if const > 0 else "-"
+        expr = ABin(op, expr, AConst(abs(const)))
+    return expr
+
+
+def _term_bases(term: Term) -> set[str]:
+    """Array bases / scalar names of every object the term reads."""
+    from repro.logic.terms import parse_ground_name
+
+    bases: set[str] = set()
+    for obj in term.objects():
+        parsed = parse_ground_name(obj.name)
+        bases.add(parsed[0] if parsed else obj.name)
+    for indexed in term.indexed_objects():
+        bases.add(indexed.base)
+    return bases
+
+
+def _write_base(ref) -> str:
+    from repro.logic.terms import parse_ground_name
+
+    if isinstance(ref, ArrayRef):
+        return ref.base
+    parsed = parse_ground_name(ref.name)
+    return parsed[0] if parsed else ref.name
+
+
+def simplify_writes_linear(com: Com) -> Com:
+    """Forward-substitute temps into writes/prints and cancel linearly.
+
+    The write's *value* is rewritten; the temporary assignments are
+    left in place (a following dead-code pass removes unused ones).
+    Array index expressions inside references are substituted too, so
+    cancellation applies to parameterized accesses uniformly.
+
+    Soundness across writes: a temporary's recorded definition reads
+    the database state at its assignment point, so once an object the
+    definition mentions (conservatively: any object of the same array
+    base) is written, the definition is dropped -- later uses keep the
+    temporary reference instead of inlining a stale read.
+    """
+    statements = _flatten(com)
+    defs: dict[Term, Term] = {}  # TempT -> fully substituted defining term
+    out: list[Com] = []
+    for node in statements:
+        if isinstance(node, Assign):
+            term = aexp_to_term(node.expr).substitute(defs)
+            defs[TempT(node.temp)] = term
+            out.append(node)
+            continue
+        expr_term = aexp_to_term(node.expr).substitute(defs)
+        new_expr = _cancelled_expression(expr_term)
+        if isinstance(node, Write):
+            ref = node.ref
+            if isinstance(ref, ArrayRef):
+                new_index = []
+                for ix in ref.index:
+                    ix_term = aexp_to_term(ix).substitute(defs)
+                    new_index.append(_cancelled_expression(ix_term))
+                ref = ArrayRef(ref.base, tuple(new_index))
+            out.append(Write(ref, new_expr))
+            written_base = _write_base(ref)
+            defs = {
+                temp: term
+                for temp, term in defs.items()
+                if written_base not in _term_bases(term)
+            }
+        else:
+            assert isinstance(node, Print)
+            out.append(Print(new_expr))
+    return seq(*out)
+
+
+def _cancelled_expression(term: Term) -> AExp:
+    try:
+        linear = linear_of_term(term)
+    except LinearizationError:
+        return _term_to_aexp(term)
+    variables = [(var, coeff) for var, coeff in linear.coeffs]
+    return _linear_to_aexp(variables, linear.const)
+
+
+def _expr_temps(expr: AExp) -> set[str]:
+    if isinstance(expr, ATemp):
+        return {expr.name}
+    if isinstance(expr, ARead):
+        out: set[str] = set()
+        if isinstance(expr.ref, ArrayRef):
+            for ix in expr.ref.index:
+                out |= _expr_temps(ix)
+        return out
+    if isinstance(expr, ABin):
+        return _expr_temps(expr.left) | _expr_temps(expr.right)
+    if isinstance(expr, ANeg):
+        return _expr_temps(expr.operand)
+    return set()
+
+
+def eliminate_dead_assignments(com: Com) -> Com:
+    """Drop assignments to temporaries with no later use."""
+    statements = _flatten(com)
+    live: set[str] = set()
+    kept_reversed: list[Com] = []
+    for node in reversed(statements):
+        if isinstance(node, Assign):
+            if node.temp not in live:
+                continue  # dead; reads inside are pure, safe to drop
+            live.discard(node.temp)
+            live |= _expr_temps(node.expr)
+        elif isinstance(node, Write):
+            live |= _expr_temps(node.expr)
+            if isinstance(node.ref, ArrayRef):
+                for ix in node.ref.index:
+                    live |= _expr_temps(ix)
+        else:
+            assert isinstance(node, Print)
+            live |= _expr_temps(node.expr)
+        kept_reversed.append(node)
+    return seq(*reversed(kept_reversed))
+
+
+def optimize_residual(com: Com) -> Com:
+    """Full pipeline: linear simplification then dead-code elimination."""
+    return eliminate_dead_assignments(simplify_writes_linear(com))
+
+
+def residual_reads(com: Com) -> set[str | tuple[str, tuple]]:
+    """Ground and parameterized object reads of an optimized residual.
+
+    Ground reads are returned as names; parameterized reads as
+    ``(base, index_terms)`` pairs.  Used by the Appendix C.3 check for
+    Assumption 4.1 (remote reads in residuals force pinning).
+    """
+    out: set[str | tuple[str, tuple]] = set()
+
+    def expr_reads(expr: AExp) -> None:
+        if isinstance(expr, ARead):
+            if isinstance(expr.ref, GroundRef):
+                out.add(expr.ref.name)
+            else:
+                index_terms = tuple(aexp_to_term(ix) for ix in expr.ref.index)
+                if all(isinstance(t, Const) for t in index_terms):
+                    from repro.logic.terms import ground_name
+
+                    out.add(
+                        ground_name(
+                            expr.ref.base, tuple(t.value for t in index_terms)
+                        )
+                    )
+                else:
+                    out.add((expr.ref.base, index_terms))
+                for ix in expr.ref.index:
+                    expr_reads(ix)
+        elif isinstance(expr, ABin):
+            expr_reads(expr.left)
+            expr_reads(expr.right)
+        elif isinstance(expr, ANeg):
+            expr_reads(expr.operand)
+
+    for node in _flatten(com):
+        if isinstance(node, (Assign, Print, Write)):
+            expr_reads(node.expr)
+        if isinstance(node, Write) and isinstance(node.ref, ArrayRef):
+            for ix in node.ref.index:
+                expr_reads(ix)
+    return out

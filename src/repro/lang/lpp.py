@@ -1,0 +1,421 @@
+"""L++ to L lowering (Section 2.4, Appendix A) and the compressed form.
+
+Two lowering modes are provided:
+
+``expand``
+    The literal Appendix A encoding: a dynamic array access
+    ``a(e)`` becomes a cascade of ``if e = 0 then ... else if e = 1``
+    statements over the array's declared bound, and ``foreach``
+    unrolls completely.  The result is pure Figure-5 L.  This mode is
+    exponential in practice and exists to validate the compressed
+    form against it.
+
+``parameterized``
+    The Section 5.1 compression: accesses whose indices are built only
+    from constants and transaction parameters stay symbolic
+    (``a(@p)``); the parameterization is pushed into the symbolic
+    tables instead of instantiated.  Accesses with data-dependent
+    indices (mentioning ``read`` or temporaries) still fall back to
+    the expanded encoding.
+
+Both modes eliminate ``foreach`` by unrolling, since L has no loops.
+Out-of-bounds behaviour of the expanded encoding: a dynamic read
+outside the declared bound yields 0 (the null default) and a dynamic
+write outside the bound is a no-op; this matches evaluating the
+nested-conditional encoding, whose final ``else`` is ``skip``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    ABin,
+    AConst,
+    AExp,
+    ANeg,
+    AParam,
+    ARead,
+    ATemp,
+    ArrayRef,
+    Assign,
+    BAnd,
+    BCmp,
+    BConst,
+    BExp,
+    BNot,
+    BOr,
+    Com,
+    ForEach,
+    GroundRef,
+    If,
+    ObjRef,
+    Print,
+    Seq,
+    Skip,
+    Transaction,
+    Write,
+    seq,
+)
+from repro.logic.terms import ground_name
+
+#: Hard cap on the number of slots a single dynamic access may expand to.
+MAX_EXPANSION = 4096
+
+
+class DesugarError(Exception):
+    """Raised when lowering is impossible (missing bounds, blow-up)."""
+
+
+# ---------------------------------------------------------------------------
+# Temp substitution (used by foreach unrolling)
+# ---------------------------------------------------------------------------
+
+
+def subst_temp_aexp(expr: AExp, name: str, value: AExp) -> AExp:
+    if isinstance(expr, ATemp) and expr.name == name:
+        return value
+    if isinstance(expr, ARead):
+        return ARead(_subst_temp_ref(expr.ref, name, value))
+    if isinstance(expr, ABin):
+        return ABin(
+            expr.op,
+            subst_temp_aexp(expr.left, name, value),
+            subst_temp_aexp(expr.right, name, value),
+        )
+    if isinstance(expr, ANeg):
+        return ANeg(subst_temp_aexp(expr.operand, name, value))
+    return expr
+
+
+def _subst_temp_ref(ref: ObjRef, name: str, value: AExp) -> ObjRef:
+    if isinstance(ref, ArrayRef):
+        return ArrayRef(
+            ref.base, tuple(subst_temp_aexp(ix, name, value) for ix in ref.index)
+        )
+    return ref
+
+
+def subst_temp_bexp(expr: BExp, name: str, value: AExp) -> BExp:
+    if isinstance(expr, BCmp):
+        return BCmp(
+            expr.op,
+            subst_temp_aexp(expr.left, name, value),
+            subst_temp_aexp(expr.right, name, value),
+        )
+    if isinstance(expr, BAnd):
+        return BAnd(
+            subst_temp_bexp(expr.left, name, value),
+            subst_temp_bexp(expr.right, name, value),
+        )
+    if isinstance(expr, BOr):
+        return BOr(
+            subst_temp_bexp(expr.left, name, value),
+            subst_temp_bexp(expr.right, name, value),
+        )
+    if isinstance(expr, BNot):
+        return BNot(subst_temp_bexp(expr.operand, name, value))
+    return expr
+
+
+def subst_temp_com(com: Com, name: str, value: AExp) -> Com:
+    """Substitute a temporary inside a command.
+
+    Raises :class:`DesugarError` if the command re-assigns the
+    temporary (shadowing a loop variable is rejected rather than
+    silently mis-scoped).
+    """
+    if isinstance(com, Skip):
+        return com
+    if isinstance(com, Assign):
+        if com.temp == name:
+            raise DesugarError(f"loop variable {name!r} is re-assigned in the body")
+        return Assign(com.temp, subst_temp_aexp(com.expr, name, value))
+    if isinstance(com, Seq):
+        return Seq(
+            subst_temp_com(com.first, name, value),
+            subst_temp_com(com.second, name, value),
+        )
+    if isinstance(com, If):
+        return If(
+            subst_temp_bexp(com.cond, name, value),
+            subst_temp_com(com.then_branch, name, value),
+            subst_temp_com(com.else_branch, name, value),
+        )
+    if isinstance(com, Write):
+        return Write(
+            _subst_temp_ref(com.ref, name, value),
+            subst_temp_aexp(com.expr, name, value),
+        )
+    if isinstance(com, Print):
+        return Print(subst_temp_aexp(com.expr, name, value))
+    if isinstance(com, ForEach):
+        if com.var == name:
+            raise DesugarError(f"loop variable {name!r} shadowed by nested foreach")
+        return ForEach(com.var, com.array, subst_temp_com(com.body, name, value))
+    raise TypeError(f"unknown command node {com!r}")
+
+
+# ---------------------------------------------------------------------------
+# foreach unrolling
+# ---------------------------------------------------------------------------
+
+
+def unroll_foreach(com: Com, arrays: dict[str, tuple[int, ...]]) -> Com:
+    """Replace every ``foreach`` by its full unrolling."""
+    if isinstance(com, (Skip, Assign, Write, Print)):
+        return com
+    if isinstance(com, Seq):
+        return Seq(unroll_foreach(com.first, arrays), unroll_foreach(com.second, arrays))
+    if isinstance(com, If):
+        return If(
+            com.cond,
+            unroll_foreach(com.then_branch, arrays),
+            unroll_foreach(com.else_branch, arrays),
+        )
+    if isinstance(com, ForEach):
+        if com.array not in arrays:
+            raise DesugarError(f"foreach over undeclared array {com.array!r}")
+        bound = arrays[com.array][0]
+        body = unroll_foreach(com.body, arrays)
+        iterations = [subst_temp_com(body, com.var, AConst(i)) for i in range(bound)]
+        return seq(*iterations)
+    raise TypeError(f"unknown command node {com!r}")
+
+
+# ---------------------------------------------------------------------------
+# Dynamic access classification and expansion
+# ---------------------------------------------------------------------------
+
+
+def _index_is_const(ix: AExp) -> bool:
+    return isinstance(ix, AConst)
+
+
+def _index_is_static(ix: AExp) -> bool:
+    """True if the index uses only constants and parameters."""
+    if isinstance(ix, (AConst, AParam)):
+        return True
+    if isinstance(ix, ANeg):
+        return _index_is_static(ix.operand)
+    if isinstance(ix, ABin):
+        return _index_is_static(ix.left) and _index_is_static(ix.right)
+    return False
+
+
+def _ground_ref(ref: ArrayRef) -> GroundRef:
+    indices = tuple(ix.value for ix in ref.index)  # type: ignore[union-attr]
+    return GroundRef(ground_name(ref.base, indices))
+
+
+@dataclass
+class _Lowering:
+    """Stateful lowering pass over one transaction body."""
+
+    arrays: dict[str, tuple[int, ...]]
+    keep_static: bool  # parameterized mode keeps param-indexed accesses
+    fresh: int = 0
+    prelude: list[Com] = field(default_factory=list)
+
+    def fresh_temp(self) -> str:
+        self.fresh += 1
+        return f"_t{self.fresh}"
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_aexp(self, expr: AExp) -> AExp:
+        if isinstance(expr, ARead):
+            ref = expr.ref
+            if isinstance(ref, GroundRef):
+                return expr
+            ref = ArrayRef(ref.base, tuple(self.lower_aexp(ix) for ix in ref.index))
+            if all(_index_is_const(ix) for ix in ref.index):
+                return ARead(_ground_ref(ref))
+            if self.keep_static and all(_index_is_static(ix) for ix in ref.index):
+                return ARead(ref)
+            return self._expand_read(ref)
+        if isinstance(expr, ABin):
+            return ABin(expr.op, self.lower_aexp(expr.left), self.lower_aexp(expr.right))
+        if isinstance(expr, ANeg):
+            return ANeg(self.lower_aexp(expr.operand))
+        return expr
+
+    def lower_bexp(self, expr: BExp) -> BExp:
+        if isinstance(expr, BCmp):
+            return BCmp(expr.op, self.lower_aexp(expr.left), self.lower_aexp(expr.right))
+        if isinstance(expr, BAnd):
+            return BAnd(self.lower_bexp(expr.left), self.lower_bexp(expr.right))
+        if isinstance(expr, BOr):
+            return BOr(self.lower_bexp(expr.left), self.lower_bexp(expr.right))
+        if isinstance(expr, BNot):
+            return BNot(self.lower_bexp(expr.operand))
+        return expr
+
+    def _slots(self, ref: ArrayRef) -> list[tuple[int, ...]]:
+        if ref.base not in self.arrays:
+            raise DesugarError(f"dynamic access to undeclared array {ref.base!r}")
+        shape = self.arrays[ref.base]
+        if len(shape) != len(ref.index):
+            raise DesugarError(
+                f"array {ref.base!r} has {len(shape)} dimension(s), "
+                f"accessed with {len(ref.index)}"
+            )
+        total = 1
+        for d in shape:
+            total *= d
+        if total > MAX_EXPANSION:
+            raise DesugarError(
+                f"expanding {ref.base!r} would create {total} cases "
+                f"(limit {MAX_EXPANSION}); use parameterized mode"
+            )
+        return list(itertools.product(*(range(d) for d in shape)))
+
+    def _expand_read(self, ref: ArrayRef) -> AExp:
+        """Appendix A read: hoist a nested-if cascade into the prelude."""
+        temp = self.fresh_temp()
+        cascade: Com = Assign(temp, AConst(0))  # out-of-bounds default
+        for slot in reversed(self._slots(ref)):
+            cond = _slot_condition(ref, slot)
+            assign = Assign(temp, ARead(GroundRef(ground_name(ref.base, slot))))
+            cascade = If(cond, assign, cascade)
+        self.prelude.append(cascade)
+        return ATemp(temp)
+
+    def _expand_write(self, ref: ArrayRef, value: AExp) -> Com:
+        """Appendix A write: nested-if cascade selecting the slot."""
+        # Bind the value once so each branch writes the same expression
+        # without re-evaluating reads inside it.
+        temp = self.fresh_temp()
+        bind = Assign(temp, value)
+        cascade: Com = Skip()  # out-of-bounds: no-op
+        for slot in reversed(self._slots(ref)):
+            cond = _slot_condition(ref, slot)
+            write = Write(GroundRef(ground_name(ref.base, slot)), ATemp(temp))
+            cascade = If(cond, write, cascade)
+        return Seq(bind, cascade)
+
+    # -- commands -----------------------------------------------------------------
+
+    def lower_com(self, com: Com) -> Com:
+        if isinstance(com, Skip):
+            return com
+        if isinstance(com, Assign):
+            expr = self._with_prelude_expr(com.expr)
+            return self._flush_prelude(Assign(com.temp, expr))
+        if isinstance(com, Print):
+            expr = self._with_prelude_expr(com.expr)
+            return self._flush_prelude(Print(expr))
+        if isinstance(com, Write):
+            expr = self._with_prelude_expr(com.expr)
+            ref = com.ref
+            if isinstance(ref, ArrayRef):
+                ref = ArrayRef(ref.base, tuple(self.lower_aexp(ix) for ix in ref.index))
+                if all(_index_is_const(ix) for ix in ref.index):
+                    return self._flush_prelude(Write(_ground_ref(ref), expr))
+                if self.keep_static and all(_index_is_static(ix) for ix in ref.index):
+                    return self._flush_prelude(Write(ref, expr))
+                return self._flush_prelude(self._expand_write(ref, expr))
+            return self._flush_prelude(Write(ref, expr))
+        if isinstance(com, Seq):
+            return Seq(self.lower_com(com.first), self.lower_com(com.second))
+        if isinstance(com, If):
+            cond = self.lower_bexp(com.cond)
+            # Flush reads hoisted out of the condition before lowering
+            # the branches, which manage their own preludes.
+            prefix = self.prelude
+            self.prelude = []
+            then_branch = self.lower_com(com.then_branch)
+            else_branch = self.lower_com(com.else_branch)
+            node: Com = If(cond, then_branch, else_branch)
+            return seq(*prefix, node) if prefix else node
+        if isinstance(com, ForEach):
+            raise DesugarError("foreach must be unrolled before access lowering")
+        raise TypeError(f"unknown command node {com!r}")
+
+    def _with_prelude_expr(self, expr: AExp) -> AExp:
+        assert not self.prelude
+        return self.lower_aexp(expr)
+
+    def _flush_prelude(self, com: Com) -> Com:
+        if not self.prelude:
+            return com
+        prefix = self.prelude
+        self.prelude = []
+        return seq(*prefix, com)
+
+
+def _slot_condition(ref: ArrayRef, slot: tuple[int, ...]) -> BExp:
+    conds = [BCmp("=", ix, AConst(v)) for ix, v in zip(ref.index, slot)]
+    cond = conds[0]
+    for extra in conds[1:]:
+        cond = BAnd(cond, extra)
+    return cond
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def desugar_transaction(
+    tx: Transaction,
+    arrays: dict[str, tuple[int, ...]] | None = None,
+    mode: str = "parameterized",
+) -> Transaction:
+    """Lower an L++ transaction into L.
+
+    ``mode`` is ``"parameterized"`` (Section 5.1 compression, the
+    default) or ``"expand"`` (literal Appendix A encoding).
+    """
+    if mode not in ("parameterized", "expand"):
+        raise ValueError(f"unknown desugaring mode {mode!r}")
+    arrays = dict(arrays or {})
+    body = unroll_foreach(tx.body, arrays)
+    lowering = _Lowering(arrays=arrays, keep_static=(mode == "parameterized"))
+    body = lowering.lower_com(body)
+    return Transaction(tx.name, tx.params, body, tx.assume_distinct)
+
+
+def is_core_l(com: Com) -> bool:
+    """True if the command is plain Figure-5 L: no foreach, and every
+    object reference is a ground name."""
+    from repro.lang.ast import walk_commands
+
+    for node in walk_commands(com):
+        if isinstance(node, ForEach):
+            return False
+        if isinstance(node, Write) and isinstance(node.ref, ArrayRef):
+            return False
+        for expr in _node_exprs(node):
+            if _has_array_read(expr):
+                return False
+    return True
+
+
+def _node_exprs(node: Com) -> list[AExp]:
+    if isinstance(node, (Assign, Print, Write)):
+        return [node.expr]
+    if isinstance(node, If):
+        return _bexp_aexps(node.cond)
+    return []
+
+
+def _bexp_aexps(expr: BExp) -> list[AExp]:
+    if isinstance(expr, BCmp):
+        return [expr.left, expr.right]
+    if isinstance(expr, (BAnd, BOr)):
+        return _bexp_aexps(expr.left) + _bexp_aexps(expr.right)
+    if isinstance(expr, BNot):
+        return _bexp_aexps(expr.operand)
+    return []
+
+
+def _has_array_read(expr: AExp) -> bool:
+    if isinstance(expr, ARead):
+        return isinstance(expr.ref, ArrayRef)
+    if isinstance(expr, ABin):
+        return _has_array_read(expr.left) or _has_array_read(expr.right)
+    if isinstance(expr, ANeg):
+        return _has_array_read(expr.operand)
+    return False

@@ -1,0 +1,361 @@
+"""Recursive-descent parser for L / L++.
+
+The paper's prototype used an ANTLR-4 generated parser (Section 5.2);
+this is a hand-written equivalent for the same grammar.  A unified
+expression grammar avoids backtracking: ``or`` < ``and`` < ``not`` <
+comparison < additive < multiplicative < unary, with parenthesized
+subexpressions allowed to be either arithmetic or boolean and
+type-checked at the point of use.
+
+Two conveniences beyond Figure 5:
+
+- ``write(x = b)`` with a boolean right-hand side (used by transaction
+  T4 in Figure 8b) desugars to
+  ``if b then write(x = 1) else write(x = 0)``;
+- bare command sequences can be parsed as anonymous transactions via
+  :func:`parse_transaction`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    ABin,
+    AConst,
+    AExp,
+    ANeg,
+    AParam,
+    ARead,
+    ATemp,
+    ArrayRef,
+    Assign,
+    BAnd,
+    BCmp,
+    BConst,
+    BExp,
+    BNot,
+    BOr,
+    Com,
+    ForEach,
+    GroundRef,
+    If,
+    ObjRef,
+    Print,
+    Program,
+    Skip,
+    Transaction,
+    Write,
+    seq,
+)
+from repro.lang.lexer import Token, tokenize
+
+_CMP_OPS = {"<", "<=", "=", "!=", ">", ">="}
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.col}")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.params: set[str] = set()
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {self.peek().text!r}", self.peek())
+        return tok
+
+    # -- program structure -----------------------------------------------------
+
+    def program(self) -> Program:
+        prog = Program()
+        while not self.check("eof"):
+            if self.check("keyword", "array") or self.check("keyword", "relation"):
+                name, shape = self.array_decl()
+                prog.arrays[name] = shape
+            elif self.check("keyword", "transaction"):
+                prog.add(self.transaction())
+            else:
+                raise ParseError(
+                    "expected 'array' or 'transaction' declaration", self.peek()
+                )
+        return prog
+
+    def array_decl(self) -> tuple[str, tuple[int, ...]]:
+        self.advance()  # 'array' or 'relation'
+        name = self.expect("name").text
+        self.expect("op", "[")
+        dims = [int(self.expect("int").text)]
+        while self.accept("op", ","):
+            dims.append(int(self.expect("int").text))
+        self.expect("op", "]")
+        self.accept("op", ";")
+        return name, tuple(dims)
+
+    def transaction(self) -> Transaction:
+        self.expect("keyword", "transaction")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.check("op", ")"):
+            params.append(self.param_name())
+            while self.accept("op", ","):
+                params.append(self.param_name())
+        self.expect("op", ")")
+        distinct_groups: list[tuple[str, ...]] = []
+        while self.check("name", "distinct"):
+            self.advance()
+            self.expect("op", "(")
+            group = [self.param_name()]
+            while self.accept("op", ","):
+                group.append(self.param_name())
+            self.expect("op", ")")
+            unknown = set(group) - set(params)
+            if unknown:
+                raise ParseError(
+                    f"distinct() names unknown parameters {sorted(unknown)}",
+                    self.peek(),
+                )
+            distinct_groups.append(tuple(group))
+        old_params = self.params
+        self.params = set(params)
+        try:
+            body = self.block()
+        finally:
+            self.params = old_params
+        return Transaction(name, tuple(params), body, tuple(distinct_groups))
+
+    def param_name(self) -> str:
+        self.accept("op", "@")
+        return self.expect("name").text
+
+    # -- commands ---------------------------------------------------------------
+
+    def block(self) -> Com:
+        self.expect("op", "{")
+        body = self.command_sequence()
+        self.expect("op", "}")
+        return body
+
+    def command_sequence(self) -> Com:
+        commands: list[Com] = []
+        while True:
+            while self.accept("op", ";"):
+                pass
+            if self.check("op", "}") or self.check("eof"):
+                break
+            commands.append(self.statement())
+        return seq(*commands) if commands else Skip()
+
+    def statement(self) -> Com:
+        tok = self.peek()
+        if self.accept("keyword", "skip"):
+            return Skip()
+        if self.accept("keyword", "if"):
+            cond = self.boolean_expr()
+            self.accept("keyword", "then")
+            then_branch = self.block()
+            self.expect("keyword", "else")
+            else_branch = self.block()
+            return If(cond, then_branch, else_branch)
+        if self.accept("keyword", "write"):
+            self.expect("op", "(")
+            ref = self.object_ref()
+            self.expect("op", "=")
+            value = self.expression()
+            self.expect("op", ")")
+            if isinstance(value, BExp):
+                # Boolean store: desugar to a conditional 1/0 write.
+                return If(value, Write(ref, AConst(1)), Write(ref, AConst(0)))
+            return Write(ref, value)
+        if self.accept("keyword", "print"):
+            self.expect("op", "(")
+            value = self.arith_expr()
+            self.expect("op", ")")
+            return Print(value)
+        if self.accept("keyword", "foreach"):
+            var = self.expect("name").text
+            self.expect("keyword", "in")
+            array = self.expect("name").text
+            body = self.block()
+            return ForEach(var, array, body)
+        if tok.kind == "name":
+            name = self.advance().text
+            self.expect("op", ":=")
+            value = self.arith_expr()
+            return Assign(name, value)
+        raise ParseError(f"unexpected token {tok.text!r} in statement", tok)
+
+    def object_ref(self) -> ObjRef:
+        name = self.expect("name").text
+        if self.accept("op", "("):
+            index = [self.arith_expr()]
+            while self.accept("op", ","):
+                index.append(self.arith_expr())
+            self.expect("op", ")")
+            return ArrayRef(name, tuple(index))
+        return GroundRef(name)
+
+    # -- expressions -------------------------------------------------------------
+
+    def expression(self) -> "AExp | BExp":
+        return self.or_expr()
+
+    def boolean_expr(self) -> BExp:
+        expr = self.or_expr()
+        if not isinstance(expr, BExp):
+            raise ParseError("expected a boolean expression", self.peek())
+        return expr
+
+    def arith_expr(self) -> AExp:
+        expr = self.or_expr()
+        if not isinstance(expr, AExp):
+            raise ParseError("expected an arithmetic expression", self.peek())
+        return expr
+
+    def or_expr(self) -> "AExp | BExp":
+        left = self.and_expr()
+        while self.check("keyword", "or"):
+            self.advance()
+            right = self.and_expr()
+            left = BOr(self._as_bool(left), self._as_bool(right))
+        return left
+
+    def and_expr(self) -> "AExp | BExp":
+        left = self.not_expr()
+        while self.check("keyword", "and"):
+            self.advance()
+            right = self.not_expr()
+            left = BAnd(self._as_bool(left), self._as_bool(right))
+        return left
+
+    def not_expr(self) -> "AExp | BExp":
+        if self.accept("keyword", "not"):
+            operand = self.not_expr()
+            return BNot(self._as_bool(operand))
+        return self.cmp_expr()
+
+    def cmp_expr(self) -> "AExp | BExp":
+        left = self.add_expr()
+        if self.peek().kind == "op" and self.peek().text in _CMP_OPS:
+            op = self.advance().text
+            right = self.add_expr()
+            return BCmp(op, self._as_arith(left), self._as_arith(right))
+        return left
+
+    def add_expr(self) -> "AExp | BExp":
+        left = self.mul_expr()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            right = self.mul_expr()
+            left = ABin(op, self._as_arith(left), self._as_arith(right))
+        return left
+
+    def mul_expr(self) -> "AExp | BExp":
+        left = self.unary_expr()
+        while self.check("op", "*"):
+            self.advance()
+            right = self.unary_expr()
+            left = ABin("*", self._as_arith(left), self._as_arith(right))
+        return left
+
+    def unary_expr(self) -> "AExp | BExp":
+        if self.accept("op", "-"):
+            operand = self.unary_expr()
+            return ANeg(self._as_arith(operand))
+        return self.atom()
+
+    def atom(self) -> "AExp | BExp":
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return AConst(int(tok.text))
+        if self.accept("keyword", "true"):
+            return BConst(True)
+        if self.accept("keyword", "false"):
+            return BConst(False)
+        if self.accept("keyword", "read"):
+            self.expect("op", "(")
+            ref = self.object_ref()
+            self.expect("op", ")")
+            return ARead(ref)
+        if self.accept("op", "@"):
+            name = self.expect("name").text
+            return AParam(name)
+        if tok.kind == "name":
+            self.advance()
+            if tok.text in self.params:
+                return AParam(tok.text)
+            return ATemp(tok.text)
+        if self.accept("op", "("):
+            inner = self.or_expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok)
+
+    def _as_bool(self, expr: "AExp | BExp") -> BExp:
+        if isinstance(expr, BExp):
+            return expr
+        raise ParseError("expected a boolean operand", self.peek())
+
+    def _as_arith(self, expr: "AExp | BExp") -> AExp:
+        if isinstance(expr, AExp):
+            return expr
+        raise ParseError("expected an arithmetic operand", self.peek())
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full L/L++ compilation unit."""
+    parser = _Parser(tokenize(source))
+    return parser.program()
+
+
+def parse_transaction(
+    source: str, name: str = "T", params: tuple[str, ...] = ()
+) -> Transaction:
+    """Parse a single transaction.
+
+    Accepts either the full ``transaction name(params) { ... }`` form
+    or a bare command sequence (optionally brace-wrapped), in which
+    case ``name`` and ``params`` supply the header.
+    """
+    tokens = tokenize(source)
+    parser = _Parser(tokens)
+    if parser.check("keyword", "transaction"):
+        tx = parser.transaction()
+        parser.expect("eof")
+        return tx
+    parser.params = set(params)
+    if parser.check("op", "{"):
+        body = parser.block()
+    else:
+        body = parser.command_sequence()
+    parser.expect("eof")
+    return Transaction(name, tuple(params), body)

@@ -1,0 +1,32 @@
+"""Pretty-printer producing parseable L/L++ source text.
+
+Round-trip property: for any AST ``t``,
+``parse_transaction(pretty_transaction(t)) == t`` up to the parser's
+sugar (boolean writes desugar to conditionals before printing, so the
+property is tested on parser output, which is already desugared).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Com, Program, Transaction
+
+
+def pretty_com(com: Com, indent: int = 0) -> str:
+    """Render a command as source text."""
+    return com.pretty(indent)
+
+
+def pretty_transaction(tx: Transaction) -> str:
+    """Render a transaction declaration as source text."""
+    return tx.pretty()
+
+
+def pretty_program(prog: Program) -> str:
+    """Render a full compilation unit as source text."""
+    parts: list[str] = []
+    for name, shape in sorted(prog.arrays.items()):
+        dims = ", ".join(str(d) for d in shape)
+        parts.append(f"array {name}[{dims}]")
+    for tx in prog.transactions.values():
+        parts.append(pretty_transaction(tx))
+    return "\n\n".join(parts)

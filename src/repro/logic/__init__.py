@@ -1,0 +1,71 @@
+"""First-order logic substrate for the homeostasis reproduction.
+
+This package provides the formula language used by symbolic tables
+(Section 2 of the paper), treaties (Sections 3-4) and the treaty
+optimizer (Appendix C):
+
+- :mod:`repro.logic.terms` -- integer terms over database objects,
+  transaction parameters and temporary program variables.
+- :mod:`repro.logic.formula` -- quantifier-free boolean formulas over
+  comparisons of terms.
+- :mod:`repro.logic.linear` -- linear normal forms (``LinearExpr`` /
+  ``LinearConstraint``) and the lowering from terms.
+- :mod:`repro.logic.linearize` -- the Appendix C.1 preprocessing that
+  strengthens an arbitrary row formula into a conjunction of linear
+  constraints.
+- :mod:`repro.logic.simplify` -- light-weight logical simplification.
+"""
+
+from repro.logic.terms import (
+    Add,
+    Const,
+    IndexedObjT,
+    Mul,
+    Neg,
+    ObjT,
+    ParamT,
+    TempT,
+    Term,
+    ground_name,
+)
+from repro.logic.formula import (
+    And,
+    Cmp,
+    FalseF,
+    Formula,
+    Not,
+    Or,
+    TrueF,
+    conj,
+    disj,
+)
+from repro.logic.linear import LinearConstraint, LinearExpr, LinearizationError
+from repro.logic.linearize import linearize_for_treaty
+from repro.logic.simplify import simplify_formula
+
+__all__ = [
+    "Add",
+    "And",
+    "Cmp",
+    "Const",
+    "FalseF",
+    "Formula",
+    "IndexedObjT",
+    "LinearConstraint",
+    "LinearExpr",
+    "LinearizationError",
+    "Mul",
+    "Neg",
+    "Not",
+    "ObjT",
+    "Or",
+    "ParamT",
+    "TempT",
+    "Term",
+    "TrueF",
+    "conj",
+    "disj",
+    "ground_name",
+    "linearize_for_treaty",
+    "simplify_formula",
+]

@@ -1,0 +1,145 @@
+"""Appendix C.1 preprocessing: strengthen a row formula to linear form.
+
+Treaty generation (Section 4.2) requires the chosen symbolic-table
+formula psi to be a conjunction of linear constraints.  Arbitrary row
+formulas may contain disequalities, disjunctions or non-linear
+arithmetic.  Following Appendix C.1, every offending subformula theta
+is replaced by its truth value on the current database ``D`` and the
+variables of theta are *pinned*: the constraints ``x_i = D(x_i)`` are
+added for each variable ``x_i`` appearing in theta.
+
+The result is a (possibly stronger) conjunction of linear constraints
+that still holds on ``D``, which is all that correctness requires --
+enforcing a stronger treaty can only cause extra synchronization,
+never incorrect execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.logic.formula import BoolConst, Cmp, Formula, conjuncts
+from repro.logic.linear import (
+    LinearConstraint,
+    LinearExpr,
+    LinearizationError,
+    constraints_of_cmp,
+)
+from repro.logic.terms import Const, ObjT, ParamT, Term
+
+
+@dataclass
+class LinearizedTreaty:
+    """Outcome of preprocessing: linear constraints plus pinning info.
+
+    ``constraints`` is the conjunction of linear constraints over
+    ground database objects.  ``pinned`` records the objects whose
+    values were frozen because they appeared in non-linearizable
+    subformulas (these yield equality constraints already included in
+    ``constraints``).
+    """
+
+    constraints: list[LinearConstraint]
+    pinned: set[ObjT] = field(default_factory=set)
+
+    def holds_on(self, getobj: Callable[[str], int]) -> bool:
+        for con in self.constraints:
+            total = 0
+            for var, coeff in con.expr.coeffs:
+                if not isinstance(var, ObjT):
+                    raise LinearizationError(
+                        f"treaty constraint mentions non-object variable {var!r}"
+                    )
+                total += coeff * getobj(var.name)
+            ok = total <= con.bound if con.op == "<=" else total == con.bound
+            if not ok:
+                return False
+        return True
+
+    def pretty(self) -> str:
+        return " and ".join(c.pretty() for c in self.constraints) or "true"
+
+
+def _instantiate_params(formula: Formula, params: Mapping[str, int]) -> Formula:
+    mapping: dict[Term, Term] = {ParamT(name): Const(value) for name, value in params.items()}
+    return formula.substitute(mapping)
+
+
+def linearize_for_treaty(
+    formula: Formula,
+    getobj: Callable[[str], int],
+    params: Mapping[str, int] | None = None,
+) -> LinearizedTreaty:
+    """Preprocess ``formula`` into a conjunction of linear constraints.
+
+    ``getobj`` resolves ground database object values on the current
+    database ``D``; it is consulted both to check that the formula
+    holds on ``D`` (a precondition: psi was selected as the row
+    matching ``D``) and to pin variables of non-linearizable parts.
+
+    Raises ``ValueError`` if the formula does not hold on ``D``.
+    """
+    if params:
+        formula = _instantiate_params(formula, params)
+    if not formula.evaluate(getobj):
+        raise ValueError(
+            f"formula {formula.pretty()} does not hold on the current database; "
+            "it cannot seed a treaty (H2 would be violated)"
+        )
+
+    result = LinearizedTreaty(constraints=[])
+    for part in conjuncts(formula.to_nnf()):
+        _linearize_part(part, getobj, result)
+    return result
+
+
+def _linearize_part(part: Formula, getobj, result: LinearizedTreaty) -> None:
+    if isinstance(part, BoolConst):
+        if not part.value:
+            raise ValueError("false conjunct in a formula that holds on D")
+        return
+    if isinstance(part, Cmp) and part.op != "!=":
+        try:
+            cons = constraints_of_cmp(part)
+        except LinearizationError:
+            _pin_subformula(part, getobj, result)
+            return
+        for con in cons:
+            _require_ground_objects(con)
+            if not con.is_trivially_true():
+                result.constraints.append(con)
+        return
+    # Disequalities, residual negations, disjunctions, non-linear atoms:
+    # pin every variable mentioned (Appendix C.1).
+    _pin_subformula(part, getobj, result)
+
+
+def _require_ground_objects(con: LinearConstraint) -> None:
+    for var in con.variables():
+        if not isinstance(var, ObjT):
+            raise LinearizationError(
+                f"treaty constraint mentions unresolved variable {var!r}; "
+                "instantiate parameters and eliminate temporaries first"
+            )
+
+
+def _pin_subformula(part: Formula, getobj, result: LinearizedTreaty) -> None:
+    if not part.evaluate(getobj):
+        raise ValueError(
+            f"subformula {part.pretty()} is false on the current database"
+        )
+    objs = set(part.objects())
+    for indexed in part.indexed_objects():
+        grounded = indexed.try_ground()
+        if grounded is None:
+            raise LinearizationError(
+                f"cannot pin parameterized object {indexed.pretty()}"
+            )
+        objs.add(grounded)
+    for obj in sorted(objs, key=lambda o: o.name):
+        result.pinned.add(obj)
+        value = getobj(obj.name)
+        result.constraints.append(
+            LinearConstraint.make(LinearExpr.variable(obj), "=", value)
+        )

@@ -1,0 +1,181 @@
+"""Light-weight logical simplification.
+
+Symbolic table construction (Figure 6) accumulates branch guards by
+conjunction, which produces formulas with redundant or contradictory
+atoms (e.g. ``x < 10 and x < 20``, or ``x < 10 and x >= 10``).  This
+module performs sound simplification:
+
+- constant folding inside atoms,
+- removal of trivially true conjuncts / trivially false disjuncts,
+- detection of contradictory pairs of *linear* atoms over the same
+  expression (yielding ``false`` rows that the analysis prunes),
+- subsumption between linear atoms over the same expression.
+
+Simplification never changes the semantics of a formula; it only makes
+symbolic tables smaller, which matters because the joint table of a
+transaction set is a cross product (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.logic.formula import (
+    And,
+    BoolConst,
+    Cmp,
+    FalseF,
+    Formula,
+    Not,
+    Or,
+    TrueF,
+    conj,
+    disj,
+)
+from repro.logic.linear import LinearConstraint, LinearizationError, constraints_of_cmp
+
+
+def _atom_truth(atom: Cmp) -> bool | None:
+    """Evaluate an atom if both sides are constant, else None."""
+    folded = atom.folded()
+    from repro.logic.terms import Const
+
+    if isinstance(folded.left, Const) and isinstance(folded.right, Const):
+        return folded.evaluate(lambda _name: 0)
+    return None
+
+
+class _Bounds:
+    """Per-expression integer bounds accumulated from <= / = atoms.
+
+    Tracks ``lo <= expr <= hi`` plus an optional exact value, keyed by
+    the normalized coefficient vector of the expression.  Detects
+    contradictions between linear atoms of a conjunction.
+    """
+
+    def __init__(self) -> None:
+        self.upper: dict[tuple[tuple[Hashable, int], ...], int] = {}
+        self.exact: dict[tuple[tuple[Hashable, int], ...], int] = {}
+
+    def add(self, con: LinearConstraint) -> bool:
+        """Record a constraint; return False on contradiction."""
+        key = con.expr.coeffs
+        neg_key = tuple((v, -c) for v, c in key)
+        if con.op == "=":
+            if key in self.exact and self.exact[key] != con.bound:
+                return False
+            self.exact[key] = con.bound
+            if key in self.upper and self.upper[key] < con.bound:
+                return False
+            if neg_key in self.upper and self.upper[neg_key] < -con.bound:
+                return False
+            return True
+        # op == "<="; an upper bound on key is a lower bound on neg_key.
+        prev = self.upper.get(key)
+        if prev is None or con.bound < prev:
+            self.upper[key] = con.bound
+        if key in self.exact and self.exact[key] > self.upper[key]:
+            return False
+        if neg_key in self.exact and -self.exact[neg_key] > self.upper[key]:
+            return False
+        lower_on_key = self.upper.get(neg_key)
+        if lower_on_key is not None and -lower_on_key > self.upper[key]:
+            return False
+        return True
+
+    def is_redundant(self, con: LinearConstraint) -> bool:
+        """True if an already-recorded constraint implies this one."""
+        key = con.expr.coeffs
+        if con.op == "=":
+            return self.exact.get(key) == con.bound
+        if key in self.exact:
+            return self.exact[key] <= con.bound
+        prev = self.upper.get(key)
+        return prev is not None and prev <= con.bound
+
+
+def simplify_formula(formula: Formula) -> Formula:
+    """Return a simpler formula equivalent to the input."""
+    nnf = formula.to_nnf()
+    return _simplify_nnf(nnf)
+
+
+def _simplify_nnf(formula: Formula) -> Formula:
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Cmp):
+        truth = _atom_truth(formula)
+        if truth is True:
+            return TrueF
+        if truth is False:
+            return FalseF
+        return formula.folded()
+    if isinstance(formula, Not):
+        # NNF guarantees Not only wraps atoms we could not negate; keep.
+        inner = _simplify_nnf(formula.operand)
+        if isinstance(inner, BoolConst):
+            return BoolConst(not inner.value)
+        return Not(inner)
+    if isinstance(formula, Or):
+        parts = [_simplify_nnf(f) for f in formula.operands]
+        return disj(parts)
+    if isinstance(formula, And):
+        parts = [_simplify_nnf(f) for f in formula.operands]
+        flat = conj(parts)
+        if not isinstance(flat, And):
+            return flat
+        return _prune_conjunction(flat)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _prune_conjunction(formula: And) -> Formula:
+    """Drop linear conjuncts subsumed by earlier ones; detect conflicts.
+
+    Two passes: the first collects the tightest bounds per expression,
+    the second keeps only non-redundant atoms.  Non-linear conjuncts
+    pass through untouched.
+    """
+    bounds = _Bounds()
+    lowered: list[tuple[Formula, list[LinearConstraint] | None]] = []
+    for part in formula.operands:
+        cons: list[LinearConstraint] | None = None
+        if isinstance(part, Cmp):
+            try:
+                cons = constraints_of_cmp(part)
+            except LinearizationError:
+                cons = None
+        lowered.append((part, cons))
+        if cons is not None:
+            for con in cons:
+                if con.is_trivially_false():
+                    return FalseF
+                if not con.is_trivially_true() and not bounds.add(con):
+                    return FalseF
+
+    def dominated(con: LinearConstraint) -> bool:
+        """Strictly implied by some *other* atom's final bound."""
+        key = con.expr.coeffs
+        neg_key = tuple((v, -c) for v, c in key)
+        if con.op == "<=":
+            if key in bounds.exact and bounds.exact[key] <= con.bound:
+                return True
+            if neg_key in bounds.exact and -bounds.exact[neg_key] <= con.bound:
+                return True
+            return bounds.upper.get(key, con.bound) < con.bound
+        return False
+
+    keep: list[Formula] = []
+    emitted = _Bounds()
+    for part, cons in lowered:
+        if cons is None:
+            keep.append(part)
+            continue
+        useful = [c for c in cons if not c.is_trivially_true()]
+        if not useful:
+            continue
+        if all(dominated(c) or emitted.is_redundant(c) for c in useful):
+            continue
+        for c in useful:
+            emitted.add(c)
+        keep.append(part)
+    return conj(keep)

@@ -1,0 +1,42 @@
+"""The homeostasis protocol runtime and baselines (Sections 3 and 5).
+
+- :mod:`repro.protocol.messages` -- message vocabulary (counted by
+  the kernel, priced by the simulator);
+- :mod:`repro.protocol.site` -- a site server: storage engine,
+  snapshots of remote objects, stored-procedure execution with the
+  pre-commit local treaty check;
+- :mod:`repro.protocol.catalog` -- stored procedures compiled from
+  symbolic tables (Section 5.1);
+- :mod:`repro.protocol.remote_writes` -- the Appendix B transform
+  eliminating remote writes via per-site delta objects;
+- :mod:`repro.protocol.homeostasis` -- the coordinator implementing
+  the round lifecycle (treaty generation, normal execution, cleanup);
+- :mod:`repro.protocol.baselines` -- LOCAL, 2PC and OPT
+  (demarcation-style) execution modes from Section 6.
+"""
+
+from repro.protocol.messages import MessageStats
+from repro.protocol.catalog import StoredProcedure, StoredProcedureCatalog
+from repro.protocol.site import SiteResult, SiteServer
+from repro.protocol.remote_writes import ReplicationSpec, transform_for_site
+from repro.protocol.homeostasis import (
+    ClusterResult,
+    HomeostasisCluster,
+    TreatyStrategy,
+)
+from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
+
+__all__ = [
+    "ClusterResult",
+    "HomeostasisCluster",
+    "LocalCluster",
+    "MessageStats",
+    "ReplicationSpec",
+    "SiteResult",
+    "SiteServer",
+    "StoredProcedure",
+    "StoredProcedureCatalog",
+    "TreatyStrategy",
+    "TwoPhaseCommitCluster",
+    "transform_for_site",
+]

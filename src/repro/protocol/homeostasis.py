@@ -1,0 +1,470 @@
+"""The homeostasis protocol coordinator (Section 3.3).
+
+Rounds have three phases:
+
+- **treaty generation**: look up the joint-table row psi matching the
+  synchronized database, linearize it (Appendix C.1), pin objects
+  remote-read by the matched residuals (Appendix C.3 / Assumption
+  4.1), split into per-site templates, instantiate a configuration
+  (Theorem 4.3 default, demarcation equal-split, or Algorithm 1
+  optimized), install local treaties at every site;
+
+- **normal execution**: sites run stored procedures disconnected;
+  each commit checks only the site's local treaty;
+
+- **cleanup**: on a violation, the aborted transaction T' wins the
+  vote (the kernel is sequential, so there is exactly one violator;
+  the simulator serializes racing violators and re-runs losers), all
+  sites broadcast their dirty owned objects, everyone installs the
+  union, T' is executed in full at every site, and a new round
+  begins.
+
+The kernel is synchronous -- it performs the real state changes and
+*counts* the messages a distributed deployment would send; the
+discrete-event simulator prices those counts with RTTs.
+
+Treaty generation is *incremental*: factors of the joint table whose
+objects did not change since the previous round keep their clauses
+and configuration verbatim (their per-factor treaty is a pure
+function of factor-local state, so regeneration would reproduce it;
+for the stochastic optimizer the cached configuration remains one of
+the valid optima).  This is an engineering optimization -- validity
+(H1/H2) is untouched -- that turns per-round cost from O(database)
+into O(touched factors).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.residual import residual_reads
+from repro.analysis.symbolic import SymbolicTable
+from repro.lang.ast import Transaction, transaction_reads, transaction_writes
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.logic.linearize import LinearizedTreaty, linearize_for_treaty
+from repro.logic.terms import ObjT
+from repro.protocol.messages import MessageStats
+from repro.protocol.site import SiteResult, SiteServer
+from repro.treaty.config import (
+    Configuration,
+    default_configuration,
+    equal_split_configuration,
+)
+from repro.treaty.optimize import (
+    OptimizerStats,
+    WorkloadModel,
+    configure_from_samples,
+    sample_executions,
+)
+from repro.treaty.table import TreatyTable
+from repro.treaty.templates import TreatyTemplates, build_templates
+
+#: Recognized treaty strategies.
+TreatyStrategy = str  # 'default' | 'equal-split' | 'optimized'
+
+
+class ProtocolError(Exception):
+    """Violations of protocol invariants (indicate bugs, not workload)."""
+
+
+@dataclass
+class ClusterResult:
+    """What the client observes for one submitted transaction."""
+
+    log: tuple[int, ...]
+    site: int
+    synced: bool  # did this transaction trigger a treaty negotiation?
+    row_index: int | None = None
+
+
+@dataclass
+class OptimizerSettings:
+    """Algorithm 1 knobs (Appendix C.2)."""
+
+    model: WorkloadModel
+    lookahead: int = 20
+    cost_factor: int = 3
+    engine: str = "fast"
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+
+@dataclass
+class _InstanceTreaty:
+    """Cached per-ground-instance treaty piece."""
+
+    constraints: list[LinearConstraint]
+    #: per constraint: site -> configuration value
+    per_clause_config: list[dict[int, int]]
+    pinned: set
+
+
+@dataclass
+class TreatyGenerator:
+    """Builds (incrementally) a fresh treaty table from a synchronized
+    database.
+
+    The generator works *lazily* over the per-ground-instance symbolic
+    tables rather than a materialized joint table: the joint row
+    matching the current database is, by the cross-product
+    construction of Section 2.2, exactly the conjunction of the rows
+    each member table matches, so the conjunction can be assembled
+    per-instance without ever materializing the product (whose size
+    is exponential for workloads like TPC-C where one transaction
+    spans several otherwise-independent object groups).
+    """
+
+    ground_tables: list[tuple[SymbolicTable, int]]  # (table, home site)
+    locate: Callable[[str], int]
+    sites: tuple[int, ...]
+    strategy: TreatyStrategy = "default"
+    optimizer: OptimizerSettings | None = None
+    #: family transactions, for optimizer workload simulation
+    families: dict[str, Transaction] = field(default_factory=dict)
+    arrays: Mapping[str, tuple[int, ...]] = field(default_factory=dict)
+    last_optimizer_stats: OptimizerStats | None = None
+    #: cumulative count of instance recomputations (observability)
+    instances_recomputed: int = 0
+
+    _cache: dict[int, _InstanceTreaty] = field(default_factory=dict)
+    _instance_objects: list[set[str]] | None = None
+    #: value-keyed memo: an instance piece is a function of the values
+    #: of the objects it depends on, and stock levels recur across
+    #: refill cycles, so pieces are reused across rounds.  (For the
+    #: stochastic optimizer this reuses one valid optimum instead of
+    #: re-sampling; H1/H2 validity is a per-piece property.)
+    _memo: dict[tuple[int, tuple[int, ...]], _InstanceTreaty] = field(
+        default_factory=dict
+    )
+    _instance_keys: list[tuple[str, ...]] | None = None
+    #: workload samples shared by all instances within one generate()
+    _sampled_runs: list[list[dict[str, int]]] | None = None
+
+    # -- instance/object indexing -------------------------------------------------
+
+    def _objects_of_instance(self, idx: int) -> set[str]:
+        """Objects whose values the instance's treaty piece depends on.
+
+        These are exactly (a) objects mentioned by any row guard --
+        they select the row and parameterize clause bounds/configs --
+        and (b) remote reads of any row residual -- they become
+        Appendix C.3 equality pins at their current values.  Objects
+        the instance merely *writes* or reads locally do not influence
+        the generated piece, so changes to them must not trigger
+        recomputation (e.g. a New Order bumps its district's
+        unfulfilled-order count, but its stock treaty is untouched).
+        """
+        if self._instance_objects is None:
+            self._instance_objects = []
+            for table, home in self.ground_tables:
+                names: set[str] = set()
+                for row in table.rows:
+                    for obj in row.guard.objects():
+                        names.add(obj.name)
+                    for indexed in row.guard.indexed_objects():
+                        grounded = indexed.try_ground()
+                        if grounded is None:
+                            raise ProtocolError(
+                                f"ground instance {table.transaction.name} has a "
+                                "parameterized guard; ground the workload fully"
+                            )
+                        names.add(grounded.name)
+                    for read in residual_reads(row.residual):
+                        if isinstance(read, str) and self.locate(read) != home:
+                            names.add(read)
+                self._instance_objects.append(names)
+        return self._instance_objects[idx]
+
+    # -- per-instance computation ---------------------------------------------------
+
+    def _compute_instance(
+        self,
+        idx: int,
+        getobj: Callable[[str], int],
+        db_snapshot: Mapping[str, int],
+    ) -> _InstanceTreaty:
+        self.instances_recomputed += 1
+        table, home = self.ground_tables[idx]
+        row = table.lookup(getobj)
+        lin = linearize_for_treaty(row.guard, getobj)
+        constraints = list(lin.constraints)
+        pinned = set(lin.pinned)
+        # Appendix C.3: pin objects remote-read by the matched residual.
+        pinned_names: set[str] = set()
+        for read in residual_reads(row.residual):
+            if not isinstance(read, str):
+                raise ProtocolError(
+                    f"ground instance {table.transaction.name} has "
+                    f"parameterized residual read {read!r}"
+                )
+            if self.locate(read) != home and read not in pinned_names:
+                pinned_names.add(read)
+                constraints.append(
+                    LinearConstraint.make(
+                        LinearExpr.variable(ObjT(read)), "=", getobj(read)
+                    )
+                )
+                pinned.add(ObjT(read))
+
+        constraints = [c for c in constraints if not c.is_trivially_true()]
+        lin_piece = LinearizedTreaty(constraints=constraints, pinned=pinned)
+        templates = build_templates(lin_piece, self.locate, self.sites)
+        config = self._configure(templates, getobj, db_snapshot)
+        per_clause = [
+            {site: config.values[clause.config_var(site)] for site in clause.sites}
+            for clause in templates.clauses
+        ]
+        return _InstanceTreaty(
+            constraints=constraints, per_clause_config=per_clause, pinned=pinned
+        )
+
+    def _configure(
+        self, templates: TreatyTemplates, getobj, db_snapshot
+    ) -> Configuration:
+        if self.strategy == "default":
+            return default_configuration(templates, getobj)
+        if self.strategy == "equal-split":
+            return equal_split_configuration(templates, getobj)
+        if self.strategy == "optimized":
+            if self.optimizer is None:
+                raise ProtocolError("strategy 'optimized' requires OptimizerSettings")
+            if self._sampled_runs is None:
+                self._sampled_runs = sample_executions(
+                    db_snapshot,
+                    self.families,
+                    self.optimizer.model,
+                    self.optimizer.lookahead,
+                    self.optimizer.cost_factor,
+                    self.optimizer.rng,
+                    self.arrays,
+                )
+            config, stats = configure_from_samples(
+                templates, getobj, self._sampled_runs, engine=self.optimizer.engine
+            )
+            self.last_optimizer_stats = stats
+            return config
+        raise ProtocolError(f"unknown treaty strategy {self.strategy!r}")
+
+    # -- assembly --------------------------------------------------------------------
+
+    def generate(
+        self,
+        getobj: Callable[[str], int],
+        db_snapshot: Mapping[str, int],
+        round_number: int,
+        dirty: set[str] | None = None,
+    ) -> TreatyTable:
+        """Build the treaty table; with ``dirty`` given, reuse cached
+        instances whose objects are untouched.
+
+        Assembly dedups identical clauses and drops ``<=``-clauses
+        dominated by a tighter clause over the same expression (e.g.
+        grounding one transaction over quantities 1..5 yields the
+        nested guards ``stock >= 11 .. stock >= 15``; only the tightest
+        needs enforcing, and it implies the rest).
+        """
+        self._sampled_runs = None  # fresh samples per generation
+        if self._instance_keys is None:
+            self._instance_keys = [
+                tuple(sorted(self._objects_of_instance(i)))
+                for i in range(len(self.ground_tables))
+            ]
+        for idx in range(len(self.ground_tables)):
+            if (
+                dirty is not None
+                and idx in self._cache
+                and not (self._objects_of_instance(idx) & dirty)
+            ):
+                continue
+            memo_key = (idx, tuple(getobj(n) for n in self._instance_keys[idx]))
+            piece = self._memo.get(memo_key)
+            if piece is None:
+                piece = self._compute_instance(idx, getobj, db_snapshot)
+                self._memo[memo_key] = piece
+            self._cache[idx] = piece
+
+        # keyed by coefficient vector + op: keep the tightest bound.
+        chosen: dict[tuple, tuple[LinearConstraint, dict[int, int]]] = {}
+        order: list[tuple] = []
+        pinned: set = set()
+        for idx in range(len(self.ground_tables)):
+            piece = self._cache[idx]
+            pinned |= piece.pinned
+            for con, cfg in zip(piece.constraints, piece.per_clause_config):
+                key = (con.expr.coeffs, con.op)
+                incumbent = chosen.get(key)
+                if incumbent is None:
+                    chosen[key] = (con, cfg)
+                    order.append(key)
+                    continue
+                held, _ = incumbent
+                if con.op == "=" and held.bound != con.bound:
+                    raise ProtocolError(
+                        f"contradictory equality clauses: {held.pretty()} "
+                        f"vs {con.pretty()}"
+                    )
+                if con.op == "<=" and con.bound < held.bound:
+                    chosen[key] = (con, cfg)
+
+        constraints = [chosen[key][0] for key in order]
+        config_rows = [chosen[key][1] for key in order]
+        lin_all = LinearizedTreaty(constraints=constraints, pinned=pinned)
+        templates = build_templates(lin_all, self.locate, self.sites)
+        config = Configuration(strategy=self.strategy)
+        for clause, cfg in zip(templates.clauses, config_rows):
+            for site in clause.sites:
+                config.values[clause.config_var(site)] = cfg[site]
+        return TreatyTable.assemble(lin_all, templates, config, round_number=round_number)
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate protocol statistics."""
+
+    submitted: int = 0
+    committed_local: int = 0
+    negotiations: int = 0
+    rounds: int = 0
+    messages: MessageStats = field(default_factory=MessageStats)
+
+    @property
+    def sync_ratio(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return self.negotiations / self.submitted
+
+
+class HomeostasisCluster:
+    """K sites executing a known workload under the homeostasis protocol."""
+
+    def __init__(
+        self,
+        site_ids: Sequence[int],
+        locate: Callable[[str], int],
+        initial_db: Mapping[str, int],
+        tables: Sequence[SymbolicTable],
+        tx_home: Mapping[str, int],
+        generator: TreatyGenerator,
+        arrays: Mapping[str, tuple[int, ...]] | None = None,
+        post_sync_hooks: Sequence[Callable[["HomeostasisCluster"], None]] = (),
+        validate: bool = False,
+    ) -> None:
+        self.site_ids = tuple(site_ids)
+        self.locate = locate
+        self.tx_home = dict(tx_home)
+        self.generator = generator
+        self.stats = ClusterStats()
+        self.treaty_table: TreatyTable | None = None
+        self.post_sync_hooks = list(post_sync_hooks)
+        self.validate = validate
+        arrays = arrays or {}
+
+        self.sites: dict[int, SiteServer] = {}
+        for sid in self.site_ids:
+            server = SiteServer(site_id=sid, locate=locate, arrays=arrays)
+            for table in tables:
+                server.catalog.register(table)
+            server.engine.store.apply(initial_db)
+            server.engine.checkpoint()
+            self.sites[sid] = server
+
+        self._install_new_treaty(dirty=None)
+
+    # -- round machinery ----------------------------------------------------------
+
+    def _reference_site(self) -> SiteServer:
+        return self.sites[self.site_ids[0]]
+
+    def _install_new_treaty(self, dirty: set[str] | None) -> None:
+        ref = self._reference_site()
+        getobj = ref.engine.peek
+        snapshot = ref.engine.store.data  # read-only use
+        self.stats.rounds += 1
+        table = self.generator.generate(getobj, snapshot, self.stats.rounds, dirty=dirty)
+        self.treaty_table = table
+        for sid, server in self.sites.items():
+            server.install_treaty(table.local_for(sid))
+        self.stats.messages.record_treaty_round(
+            len(self.site_ids), deterministic_solver=True
+        )
+
+    def _synchronize(self) -> set[str]:
+        updates: dict[str, int] = {}
+        for server in self.sites.values():
+            updates.update(server.dirty_owned_values())
+        for server in self.sites.values():
+            server.apply_sync(updates)
+        self.stats.messages.record_sync_round(len(self.site_ids))
+        for hook in self.post_sync_hooks:
+            hook(self)
+        if self.validate:
+            self._assert_sites_agree()
+        return set(updates)
+
+    def _assert_sites_agree(self) -> None:
+        ref = self._reference_site().state_snapshot()
+        names = set(ref)
+        for server in self.sites.values():
+            names |= set(server.state_snapshot())
+        for server in self.sites.values():
+            snap = server.state_snapshot()
+            for name in names:
+                if snap.get(name, 0) != ref.get(name, 0):
+                    raise ProtocolError(
+                        f"post-sync divergence on {name!r}: site "
+                        f"{server.site_id} has {snap.get(name, 0)}, reference "
+                        f"has {ref.get(name, 0)}"
+                    )
+
+    # -- client API ---------------------------------------------------------------
+
+    def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
+        """Run one transaction to completion under the protocol."""
+        if tx_name not in self.tx_home:
+            raise ProtocolError(f"unknown transaction {tx_name!r}")
+        origin = self.tx_home[tx_name]
+        server = self.sites[origin]
+        self.stats.submitted += 1
+
+        result: SiteResult = server.execute(tx_name, params)
+        if result.committed:
+            self.stats.committed_local += 1
+            return ClusterResult(
+                log=result.log, site=origin, synced=False, row_index=result.row_index
+            )
+
+        # Cleanup phase: T' was aborted; it wins the (trivial) vote.
+        self.stats.negotiations += 1
+        self.stats.messages.record_vote(len(self.site_ids))
+        dirty = self._synchronize()
+        logs: dict[int, tuple[int, ...]] = {}
+        written_union: set[str] = set()
+        for sid, other in self.sites.items():
+            log, written = other.run_cleanup_transaction(tx_name, params)
+            logs[sid] = log
+            written_union |= written
+        reference = logs[origin]
+        if any(log != reference for log in logs.values()):
+            raise ProtocolError(f"cleanup runs of {tx_name} diverged: {logs}")
+        # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
+        # objects whose deltas were already dirty, and those factors
+        # are recomputed anyway, so dirty | written covers everything.
+        self._install_new_treaty(dirty=dirty | written_union)
+        return ClusterResult(log=reference, site=origin, synced=True)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def global_state(self) -> dict[str, int]:
+        """The authoritative global database: each object from its owner."""
+        out: dict[str, int] = {}
+        for sid, server in self.sites.items():
+            for name, value in server.engine.store.items():
+                if self.locate(name) == sid:
+                    out[name] = value
+        return out
+
+    def force_synchronize(self) -> None:
+        """External sync request (used at experiment boundaries)."""
+        dirty = self._synchronize()
+        self._install_new_treaty(dirty=dirty)

@@ -1,0 +1,55 @@
+"""Inter-site message vocabulary and accounting.
+
+The correctness kernel executes synchronously but *counts* every
+message the real distributed system would send; the discrete-event
+simulator prices the same counts with network latencies.  The message
+complexity of one treaty negotiation matches Section 5.1: "every
+treaty negotiation requires two rounds of global communication -- one
+for synchronizing database state across nodes and one for
+communicating the new treaties" (the second round is elided when the
+solver is deterministic, which ours is; we count it separately so
+both accounting styles are available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MessageStats:
+    """Counters for the communication a protocol run would incur."""
+
+    sync_broadcasts: int = 0  # state-synchronization messages
+    treaty_updates: int = 0  # new-treaty propagation messages
+    vote_messages: int = 0  # violation-winner election messages
+    prepare_messages: int = 0  # 2PC phase-one messages
+    decision_messages: int = 0  # 2PC phase-two messages
+    negotiations: int = 0  # treaty negotiation events (round ends)
+
+    def total(self) -> int:
+        return (
+            self.sync_broadcasts
+            + self.treaty_updates
+            + self.vote_messages
+            + self.prepare_messages
+            + self.decision_messages
+        )
+
+    def record_sync_round(self, num_sites: int) -> None:
+        """All-to-all state exchange: each site broadcasts to the rest."""
+        self.sync_broadcasts += num_sites * (num_sites - 1)
+        self.negotiations += 1
+
+    def record_treaty_round(self, num_sites: int, deterministic_solver: bool) -> None:
+        """Treaty propagation; free when every site solves identically."""
+        if not deterministic_solver:
+            self.treaty_updates += num_sites - 1
+
+    def record_vote(self, num_sites: int) -> None:
+        self.vote_messages += num_sites - 1
+
+    def record_2pc(self, num_sites: int) -> None:
+        """One prepare round and one decision round across replicas."""
+        self.prepare_messages += num_sites - 1
+        self.decision_messages += num_sites - 1

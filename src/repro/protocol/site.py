@@ -1,0 +1,146 @@
+"""A homeostasis site server.
+
+Each site owns a partition of the database (authoritative values for
+objects with ``Loc(x) = site``) and keeps *snapshot* values for every
+remote object it may read (Section 3.2's model of disconnected
+execution: local reads are current, remote reads see a possibly stale
+snapshot refreshed at synchronization points).  Both live in one
+storage engine -- the protocol guarantees writes only touch owned
+objects during normal execution (Assumption 3.1).
+
+``execute`` implements the online path of Section 5.1: dispatch to
+the stored procedure whose guard matches, run it inside a storage
+transaction, check the local treaty before commit, and either commit
+(returning the log) or abort and report the treaty violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.lang.interp import ExecContext, execute
+from repro.protocol.catalog import StoredProcedureCatalog
+from repro.storage.engine import LocalEngine
+from repro.treaty.table import LocalTreaty
+
+
+@dataclass
+class SiteResult:
+    """Outcome of one transaction attempt at one site."""
+
+    committed: bool
+    violated: bool
+    log: tuple[int, ...] = ()
+    row_index: int | None = None
+
+
+@dataclass
+class SiteServer:
+    site_id: int
+    locate: Callable[[str], int]
+    engine: LocalEngine = field(default_factory=LocalEngine)
+    catalog: StoredProcedureCatalog = field(default_factory=StoredProcedureCatalog)
+    local_treaty: LocalTreaty | None = None
+    arrays: Mapping[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def owns(self, name: str) -> bool:
+        return self.locate(name) == self.site_id
+
+    def install_treaty(self, treaty: LocalTreaty) -> None:
+        self.local_treaty = treaty
+
+    # -- the online execution path (Section 5.1) ---------------------------------
+
+    def execute(self, tx_name: str, params: Mapping[str, int] | None = None) -> SiteResult:
+        """Run a transaction disconnected; commit iff the local treaty
+        still holds afterwards."""
+        txn = self.engine.begin()
+        getobj = txn.read
+        try:
+            proc = self.catalog.dispatch(tx_name, getobj, params=params)
+            ctx = ExecContext(
+                getobj=getobj,
+                setobj=txn.write,
+                emit=txn.emit,
+                params=dict(params or {}),
+                arrays=self.arrays,
+            )
+            proc.run(ctx)
+            self._assert_writes_local(txn.written, tx_name)
+            if self.local_treaty is not None and not self.local_treaty.holds_after_writes(
+                getobj, txn.written
+            ):
+                txn.abort()
+                return SiteResult(committed=False, violated=True, row_index=proc.row_index)
+            log = tuple(txn.log)
+            txn.commit()
+            return SiteResult(
+                committed=True, violated=False, log=log, row_index=proc.row_index
+            )
+        except BaseException:
+            if txn.active:
+                txn.abort()
+            raise
+
+    def _assert_writes_local(self, written: set[str], tx_name: str) -> None:
+        foreign = sorted(name for name in written if not self.owns(name))
+        if foreign:
+            raise AssertionError(
+                f"{tx_name} at site {self.site_id} wrote non-local objects "
+                f"{foreign}; apply the Appendix B transform first "
+                "(Assumption 3.1)"
+            )
+
+    # -- cleanup-phase helpers -----------------------------------------------------
+
+    def dirty_owned_values(self) -> dict[str, int]:
+        """Values of owned objects updated since the round checkpoint."""
+        return {
+            name: self.engine.peek(name)
+            for name in self.engine.dirty_objects()
+            if self.owns(name)
+        }
+
+    def apply_sync(self, updates: Mapping[str, int]) -> None:
+        """Install broadcast values (both snapshots and owned objects;
+        owned entries are no-ops since the site is their source)."""
+        for name, value in updates.items():
+            self.engine.poke(name, value)
+        self.engine.checkpoint()
+
+    def run_cleanup_transaction(
+        self, tx_name: str, params: Mapping[str, int] | None = None
+    ) -> tuple[tuple[int, ...], set[str]]:
+        """Execute the violating transaction T' in full after sync.
+
+        T' runs as the *complete* transaction (not a residual): the
+        synchronized state may match a different symbolic row than the
+        one that detected the violation.  T' is exempt from Assumption
+        3.1 (see the remark after Theorem 3.8), so writes may touch
+        any object; non-owned writes update this site's snapshots with
+        values every other site computes identically (T' is
+        deterministic).
+        """
+        tx = self.catalog.full_transaction(tx_name)
+        txn = self.engine.begin()
+        try:
+            ctx = ExecContext(
+                getobj=txn.read,
+                setobj=txn.write,
+                emit=txn.emit,
+                params=dict(params or {}),
+                arrays=self.arrays,
+            )
+            execute(tx.body, ctx)
+            log = tuple(txn.log)
+            written = set(txn.written)
+            txn.commit()
+            return log, written
+        except BaseException:
+            if txn.active:
+                txn.abort()
+            raise
+
+    def state_snapshot(self) -> dict[str, int]:
+        return self.engine.store.snapshot()

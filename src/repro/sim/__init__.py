@@ -1,0 +1,36 @@
+"""Discrete-event performance harness (replaces the EC2 deployment).
+
+The correctness kernel decides *what happens* (commit locally or
+negotiate); the simulator decides *when*, pricing decisions with:
+
+- network round trips (uniform RTT for the microbenchmark, the Table
+  1 inter-datacenter matrix for TPC-C),
+- a multi-core service model per replica (closed-loop clients,
+  exponential service times, core saturation -- the Figure 17
+  plateau),
+- per-item lock queues with MySQL's 1-second lock-wait-timeout floor
+  (the 2PC abort behaviour and the Figure 19/21 latency tails),
+- cluster-wide quiescence during treaty negotiation (2 RTT + solver
+  time, Section 5.1's two communication rounds),
+- a solver-time model for Algorithm 1 (scales with the lookahead L,
+  Figure 24).
+
+Measured quantities match the paper's: latency percentiles,
+throughput per replica, synchronization ratio, and the latency
+breakdown of violating transactions.
+"""
+
+from repro.sim.metrics import LatencyStats, SimResult, percentile
+from repro.sim.network import TABLE1_RTT_MS, rtt_matrix_for, uniform_rtt_matrix
+from repro.sim.runner import SimConfig, simulate
+
+__all__ = [
+    "LatencyStats",
+    "SimConfig",
+    "SimResult",
+    "TABLE1_RTT_MS",
+    "percentile",
+    "rtt_matrix_for",
+    "simulate",
+    "uniform_rtt_matrix",
+]

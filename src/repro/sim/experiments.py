@@ -1,0 +1,157 @@
+"""Prepackaged experiment runners used by the benchmark suite.
+
+Each function builds the workload, the kernel cluster for the chosen
+mode, and runs the simulator, returning a :class:`SimResult`.
+
+Scale note (documented in EXPERIMENTS.md): the paper's runs use
+10,000 items / 100,000 stock rows and 300-500 s measurement windows
+on real hardware; the reproduction runs scaled-down populations and
+transaction counts so a full figure regenerates in seconds of wall
+time.  All reported quantities are intensive (latency percentiles,
+per-replica throughput, synchronization ratio), so shapes are
+preserved under scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.metrics import SimResult
+from repro.sim.network import rtt_matrix_for
+from repro.sim.runner import SimConfig, SimRequest, simulate
+from repro.workloads.micro import MicroWorkload
+from repro.workloads.tpcc import TpccWorkload
+
+
+def solver_time_model(lookahead: int, cost_factor: int = 3) -> float:
+    """Milliseconds of treaty-search time per negotiation.
+
+    Calibrated to the paper's observation of "an additional overhead
+    of less than 50 ms to find new treaties using the solver" at the
+    default settings, growing with the lookahead interval L
+    (Figure 24's solver component).
+    """
+    return 2.0 + 0.5 * lookahead * max(cost_factor, 1) / 3.0
+
+
+_STRATEGY_FOR_MODE = {"homeo": "optimized", "opt": "equal-split"}
+
+
+def build_micro_cluster(workload: MicroWorkload, mode: str, lookahead: int,
+                        cost_factor: int, seed: int):
+    if mode in _STRATEGY_FOR_MODE:
+        return workload.build_homeostasis(
+            strategy=_STRATEGY_FOR_MODE[mode],
+            lookahead=lookahead,
+            cost_factor=cost_factor,
+            seed=seed,
+        )
+    if mode == "2pc":
+        return workload.build_2pc()
+    if mode == "local":
+        return workload.build_local()
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def run_micro(
+    mode: str,
+    rtt_ms: float = 100.0,
+    num_replicas: int = 2,
+    clients_per_replica: int = 16,
+    num_items: int = 300,
+    refill: int = 100,
+    items_per_txn: int = 1,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    max_txns: int = 8_000,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One microbenchmark point (Section 6.1 defaults scaled down)."""
+    workload = MicroWorkload(
+        num_items=num_items,
+        refill=refill,
+        num_sites=num_replicas,
+        items_per_txn=items_per_txn,
+        initial_qty="random",  # start at steady state
+        init_seed=seed + 1,
+    )
+    cluster = build_micro_cluster(workload, mode, lookahead, cost_factor, seed)
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(req.tx_name, req.params, req.items, family="Buy")
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_ms=rtt_ms,
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def build_tpcc_cluster(workload: TpccWorkload, mode: str, lookahead: int,
+                       cost_factor: int, seed: int):
+    if mode in _STRATEGY_FOR_MODE:
+        return workload.build_homeostasis(
+            strategy=_STRATEGY_FOR_MODE[mode],
+            lookahead=lookahead,
+            cost_factor=cost_factor,
+            seed=seed,
+        )
+    if mode == "2pc":
+        return workload.build_2pc()
+    if mode == "local":
+        return workload.build_local()
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def run_tpcc(
+    mode: str,
+    hotness: int = 10,
+    num_replicas: int = 2,
+    clients_per_replica: int = 8,
+    num_warehouses: int = 2,
+    num_districts: int = 2,
+    items_per_district: int = 60,
+    mix: tuple[float, float, float] = (0.45, 0.45, 0.10),
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    max_txns: int = 1_500,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One TPC-C point (Section 6.2, scaled down; Table 1 RTTs)."""
+    workload = TpccWorkload(
+        num_warehouses=num_warehouses,
+        num_districts=num_districts,
+        items_per_district=items_per_district,
+        num_sites=num_replicas,
+        hotness=hotness,
+        mix=mix,
+    )
+    cluster = build_tpcc_cluster(workload, mode, lookahead, cost_factor, seed)
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(req.tx_name, req.params, req.hot_key, family=req.family)
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_matrix=rtt_matrix_for(num_replicas),
+        cores_per_replica=16,  # c3.4xlarge
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)

@@ -1,0 +1,62 @@
+"""Network latency models.
+
+Table 1 of the paper: average round-trip times between the five
+Amazon datacenters used in the TPC-C experiments (milliseconds).
+Replicas are added in the paper's order UE, UW, IE, SG, BR
+(Section 6.2), so ``rtt_matrix_for(n)`` returns the submatrix for the
+first ``n`` datacenters.
+"""
+
+from __future__ import annotations
+
+DATACENTERS = ("UE", "UW", "IE", "SG", "BR")
+
+#: Table 1 (symmetric; diagonal < 1 ms modeled as 0.5 ms).
+TABLE1_RTT_MS: dict[tuple[str, str], float] = {}
+
+
+def _fill_table1() -> None:
+    rows = {
+        ("UE", "UE"): 0.5,
+        ("UE", "UW"): 64.0,
+        ("UE", "IE"): 80.0,
+        ("UE", "SG"): 243.0,
+        ("UE", "BR"): 164.0,
+        ("UW", "UW"): 0.5,
+        ("UW", "IE"): 170.0,
+        ("UW", "SG"): 210.0,
+        ("UW", "BR"): 227.0,
+        ("IE", "IE"): 0.5,
+        ("IE", "SG"): 285.0,
+        ("IE", "BR"): 235.0,
+        ("SG", "SG"): 0.5,
+        ("SG", "BR"): 372.0,
+        ("BR", "BR"): 0.5,
+    }
+    for (a, b), v in rows.items():
+        TABLE1_RTT_MS[(a, b)] = v
+        TABLE1_RTT_MS[(b, a)] = v
+
+
+_fill_table1()
+
+
+def uniform_rtt_matrix(n: int, rtt_ms: float) -> list[list[float]]:
+    """All-pairs RTT of ``rtt_ms`` (the microbenchmark's simulated
+    network, Section 6.1)."""
+    return [
+        [0.5 if i == j else rtt_ms for j in range(n)] for i in range(n)
+    ]
+
+
+def rtt_matrix_for(n: int) -> list[list[float]]:
+    """Table 1 submatrix for the first ``n`` datacenters."""
+    if not 1 <= n <= len(DATACENTERS):
+        raise ValueError(f"supported replica counts: 1..{len(DATACENTERS)}")
+    names = DATACENTERS[:n]
+    return [[TABLE1_RTT_MS[(a, b)] for b in names] for a in names]
+
+
+def max_rtt(matrix: list[list[float]]) -> float:
+    """The slowest pairwise round trip (bounds a sync round)."""
+    return max(max(row) for row in matrix)

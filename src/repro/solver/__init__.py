@@ -1,0 +1,38 @@
+"""From-scratch arithmetic decision procedures (the paper used Z3).
+
+The treaty machinery needs three capabilities, all over conjunctions
+of linear integer constraints:
+
+1. *feasibility / optimization* -- :mod:`repro.solver.simplex`
+   (exact rational simplex) and :mod:`repro.solver.ilp`
+   (branch-and-bound integer programming on top of it);
+2. *unsat cores* -- :mod:`repro.solver.cores` (deletion-based
+   minimization over the feasibility oracle);
+3. *partial MaxSAT* -- :mod:`repro.solver.maxsat` implements the
+   Fu-Malik algorithm cited in Section 5.2, with big-M relaxation of
+   soft linear constraints, plus :mod:`repro.solver.fastmaxsat`, a
+   specialized exact solver for the budget-allocation structure that
+   treaty instances exhibit (used by default in the benchmarks; the
+   two are cross-checked in the ablation suite).
+"""
+
+from repro.solver.simplex import LPResult, SolverError, lp_solve
+from repro.solver.ilp import ILPResult, ilp_feasible, ilp_optimize
+from repro.solver.cores import is_feasible, minimal_unsat_core
+from repro.solver.maxsat import MaxSatResult, fu_malik_maxsat
+from repro.solver.fastmaxsat import BudgetInstance, solve_budget_allocation
+
+__all__ = [
+    "BudgetInstance",
+    "ILPResult",
+    "LPResult",
+    "MaxSatResult",
+    "SolverError",
+    "fu_malik_maxsat",
+    "ilp_feasible",
+    "ilp_optimize",
+    "is_feasible",
+    "lp_solve",
+    "minimal_unsat_core",
+    "solve_budget_allocation",
+]

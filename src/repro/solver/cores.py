@@ -1,0 +1,45 @@
+"""Feasibility oracle and deletion-based unsat cores.
+
+The Fu-Malik MaxSAT loop (see :mod:`repro.solver.maxsat`) repeatedly
+asks for an unsatisfiable core of the soft constraints relative to the
+hard ones.  A *core* is a subset of the soft constraints that is
+jointly infeasible with the hard constraints; deletion-based
+minimization shrinks it to a minimal one (every proper subset is
+feasible) with a linear number of oracle calls.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.logic.linear import LinearConstraint
+from repro.solver.ilp import ilp_feasible
+
+
+def is_feasible(constraints: Sequence[LinearConstraint]) -> bool:
+    """Integer feasibility of a conjunction of linear constraints."""
+    return ilp_feasible(list(constraints)).feasible
+
+
+def minimal_unsat_core(
+    hard: Sequence[LinearConstraint],
+    soft: Sequence[LinearConstraint],
+) -> list[int] | None:
+    """Return indices of a minimal soft core, or None if satisfiable.
+
+    Precondition for a useful answer: ``hard`` alone is feasible.  If
+    ``hard + soft`` is feasible, returns ``None``.
+    """
+    if is_feasible(list(hard) + list(soft)):
+        return None
+    core = list(range(len(soft)))
+    # Deletion-based minimization: drop one member at a time; if the
+    # remainder is still unsat, the member is unnecessary.
+    i = 0
+    while i < len(core):
+        trial = core[:i] + core[i + 1 :]
+        if is_feasible(list(hard) + [soft[j] for j in trial]):
+            i += 1  # needed; keep it
+        else:
+            core = trial  # redundant; drop and retry at same position
+    return core

@@ -1,0 +1,120 @@
+"""Branch-and-bound integer programming over the exact simplex.
+
+Provides integer feasibility and optimization for conjunctions of
+:class:`repro.logic.linear.LinearConstraint`.  The LP relaxation is
+solved exactly (rational simplex), then a variable with a fractional
+value is branched on (``v <= floor`` / ``v >= ceil``).  Since all
+treaty instances are bounded in practice, a node limit guards against
+pathological unbounded-relaxation inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Sequence
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.solver.simplex import SolverError, lp_solve
+
+DEFAULT_NODE_LIMIT = 20_000
+
+
+@dataclass
+class ILPResult:
+    """Outcome of an integer solve."""
+
+    status: str  # 'optimal' | 'infeasible' | 'unbounded' | 'node-limit'
+    assignment: dict[Hashable, int]
+    value: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "optimal"
+
+
+def _branch_constraints(var: Hashable, value: Fraction) -> tuple[LinearConstraint, LinearConstraint]:
+    floor = value.numerator // value.denominator
+    left = LinearConstraint.make(LinearExpr.variable(var), "<=", floor)
+    right = LinearConstraint.make(LinearExpr.variable(var).scaled(-1), "<=", -(floor + 1))
+    return left, right
+
+
+def _fractional_var(assignment: dict[Hashable, Fraction]) -> tuple[Hashable, Fraction] | None:
+    for var in sorted(assignment, key=repr):
+        value = assignment[var]
+        if value.denominator != 1:
+            return var, value
+    return None
+
+
+def ilp_feasible(
+    constraints: Sequence[LinearConstraint],
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> ILPResult:
+    """Find any integer assignment satisfying the constraints."""
+    stack: list[list[LinearConstraint]] = [list(constraints)]
+    nodes = 0
+    while stack:
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(f"ILP feasibility exceeded {node_limit} nodes")
+        current = stack.pop()
+        relax = lp_solve(current)
+        if relax.status == "infeasible":
+            continue
+        fractional = _fractional_var(relax.assignment)
+        if fractional is None:
+            assignment = {v: int(x) for v, x in relax.assignment.items()}
+            return ILPResult("optimal", assignment)
+        var, value = fractional
+        left, right = _branch_constraints(var, value)
+        stack.append(current + [right])
+        stack.append(current + [left])
+    return ILPResult("infeasible", {})
+
+
+def ilp_optimize(
+    constraints: Sequence[LinearConstraint],
+    objective: LinearExpr,
+    maximize: bool = False,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> ILPResult:
+    """Optimize an integer linear objective by branch and bound."""
+    sign = -1 if maximize else 1
+    best: ILPResult | None = None
+    best_bound: Fraction | None = None  # best integer objective found (signed)
+    stack: list[list[LinearConstraint]] = [list(constraints)]
+    nodes = 0
+    while stack:
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(f"ILP optimization exceeded {node_limit} nodes")
+        current = stack.pop()
+        relax = lp_solve(current, objective, maximize=maximize)
+        if relax.status == "infeasible":
+            continue
+        if relax.status == "unbounded":
+            # The relaxation is unbounded; the integer problem may be too.
+            # Probe feasibility: if an integer point exists, report unbounded.
+            probe = ilp_feasible(current, node_limit=node_limit - nodes)
+            if probe.feasible:
+                return ILPResult("unbounded", probe.assignment)
+            continue
+        relax_signed = sign * relax.value
+        if best_bound is not None and relax_signed >= best_bound:
+            continue  # bound: cannot improve on the incumbent
+        fractional = _fractional_var(relax.assignment)
+        if fractional is None:
+            assignment = {v: int(x) for v, x in relax.assignment.items()}
+            value = int(relax.value) if relax.value.denominator == 1 else relax.value
+            candidate_signed = sign * Fraction(relax.value)
+            if best_bound is None or candidate_signed < best_bound:
+                best_bound = candidate_signed
+                best = ILPResult("optimal", assignment, int(value))
+            continue
+        var, value = fractional
+        left, right = _branch_constraints(var, value)
+        stack.append(current + [right])
+        stack.append(current + [left])
+    return best if best is not None else ILPResult("infeasible", {})

@@ -1,0 +1,153 @@
+"""Fu-Malik partial MaxSAT over linear integer arithmetic.
+
+Section 5.2 of the paper: "For finding optimal treaty configurations,
+we use the Fu-Malik Max SAT procedure in the Microsoft Z3 SMT
+solver."  This module reimplements that procedure over our own
+decision procedure for conjunctions of linear integer constraints.
+
+Fu-Malik (SAT'06), lifted to a theory setting:
+
+    while UNSAT(hard AND soft):
+        C <- minimal unsat core of the soft constraints
+        for each soft s in C:
+            add a fresh blocking variable b_s: replace s by (s OR b_s)
+        add the hard cardinality constraint  sum_{s in C} b_s <= 1
+        cost <- cost + 1
+
+Disjunction ``s OR b_s`` is encoded with big-M relaxation: a soft
+``expr <= bound`` becomes ``expr <= bound + M * b_s`` with
+``0 <= b_s <= 1`` integer; soft equalities relax both directions.
+``M`` must exceed the largest violation any model can exhibit; treaty
+instances are bounded by database magnitudes, so the default is
+generous and callers can tighten it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.solver.cores import minimal_unsat_core
+from repro.solver.ilp import ilp_feasible
+
+DEFAULT_BIG_M = 10**9
+
+
+@dataclass(frozen=True)
+class _BlockVar:
+    """A fresh 0/1 relaxation variable introduced by Fu-Malik."""
+
+    round: int
+    index: int
+
+    def __repr__(self) -> str:  # stable ordering key for the simplex
+        return f"_b{self.round}_{self.index}"
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a partial MaxSAT solve.
+
+    ``assignment`` satisfies all hard constraints and all soft
+    constraints except ``cost`` of them; ``satisfied`` flags each soft
+    constraint.
+    """
+
+    assignment: dict[Hashable, int]
+    cost: int
+    satisfied: list[bool] = field(default_factory=list)
+
+    @property
+    def num_satisfied(self) -> int:
+        return sum(self.satisfied)
+
+
+def _relax(soft: LinearConstraint, block: _BlockVar, big_m: int) -> list[LinearConstraint]:
+    """Encode ``soft OR block`` with big-M."""
+    out: list[LinearConstraint] = []
+    block_term = LinearExpr.variable(block, -big_m)
+    if soft.op == "<=":
+        out.append(LinearConstraint.make(soft.expr + block_term, "<=", soft.bound))
+    else:  # equality: relax both directions
+        out.append(LinearConstraint.make(soft.expr + block_term, "<=", soft.bound))
+        out.append(
+            LinearConstraint.make(soft.expr.scaled(-1) + block_term, "<=", -soft.bound)
+        )
+    return out
+
+
+def _bounds_01(var: Hashable) -> list[LinearConstraint]:
+    expr = LinearExpr.variable(var)
+    return [
+        LinearConstraint.make(expr, "<=", 1),
+        LinearConstraint.make(expr.scaled(-1), "<=", 0),
+    ]
+
+
+def fu_malik_maxsat(
+    hard: Sequence[LinearConstraint],
+    soft: Sequence[LinearConstraint],
+    big_m: int = DEFAULT_BIG_M,
+    max_rounds: int | None = None,
+) -> MaxSatResult:
+    """Maximize the number of satisfied soft constraints.
+
+    Raises ``ValueError`` if the hard constraints alone are infeasible
+    (no treaty configuration exists -- Theorem 4.3 guarantees this
+    never happens for template-generated instances).
+    """
+    hard_list = list(hard)
+    if not ilp_feasible(hard_list).feasible:
+        raise ValueError("hard constraints are infeasible")
+
+    # Working copies of the soft constraints; each may accumulate
+    # blocking variables over rounds.
+    working: list[list[LinearConstraint]] = [[s] for s in soft]
+    extra_hard: list[LinearConstraint] = []
+    cost = 0
+    rounds = 0
+    limit = max_rounds if max_rounds is not None else len(soft) + 1
+
+    while True:
+        flattened = [c for group in working for c in group]
+        core = minimal_unsat_core(hard_list + extra_hard, flattened)
+        if core is None:
+            break
+        rounds += 1
+        if rounds > limit:
+            raise RuntimeError("Fu-Malik exceeded round limit; raise big_m?")
+        # Map core indices (over flattened) back to soft indices.
+        owner: list[int] = []
+        for i, group in enumerate(working):
+            owner.extend([i] * len(group))
+        core_soft = sorted({owner[i] for i in core})
+        blocks: list[_BlockVar] = []
+        for k, soft_idx in enumerate(core_soft):
+            block = _BlockVar(rounds, k)
+            blocks.append(block)
+            extra_hard.extend(_bounds_01(block))
+            # Re-relax the *original* soft constraint with the new block
+            # added on top of any previous relaxation of this soft.
+            relaxed: list[LinearConstraint] = []
+            for con in working[soft_idx]:
+                relaxed.extend(_relax(con, block, big_m))
+            working[soft_idx] = relaxed
+        # At most one of this round's blocking variables may fire.
+        card = LinearExpr.make({b: 1 for b in blocks})
+        extra_hard.append(LinearConstraint.make(card, "<=", 1))
+        cost += 1
+
+    flattened = [c for group in working for c in group]
+    solution = ilp_feasible(hard_list + extra_hard + flattened)
+    assert solution.feasible, "post-loop model must exist"
+    assignment = {
+        v: x for v, x in solution.assignment.items() if not isinstance(v, _BlockVar)
+    }
+    satisfied = [s.satisfied_by(_total(assignment, s)) for s in soft]
+    return MaxSatResult(assignment=assignment, cost=cost, satisfied=satisfied)
+
+
+def _total(assignment: dict[Hashable, int], con: LinearConstraint) -> dict[Hashable, int]:
+    """Assignment defaulting missing variables to 0 for evaluation."""
+    return {v: assignment.get(v, 0) for v in con.variables()}

@@ -1,0 +1,220 @@
+"""Exact two-phase simplex over rationals.
+
+A dense tableau implementation using :class:`fractions.Fraction`
+arithmetic (no floating point, hence no numerical tolerance issues)
+with Bland's anti-cycling rule.  Problem sizes in this system are tiny
+-- a treaty clause contributes one constraint and one configuration
+variable per site -- so clarity wins over sparse-matrix engineering.
+
+Free (sign-unrestricted) variables are split as ``x = x+ - x-`` with
+``x+, x- >= 0``; inequalities get slack variables; phase one drives
+artificial variables out of the basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+
+
+class SolverError(Exception):
+    """Raised on malformed solver input or resource exhaustion."""
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP solve.
+
+    ``status`` is ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    For optimal solves, ``assignment`` maps every variable to a
+    rational value and ``value`` is the objective value (0 for pure
+    feasibility problems).
+    """
+
+    status: str
+    assignment: dict[Hashable, Fraction]
+    value: Fraction
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "optimal"
+
+
+class _Tableau:
+    """Dense simplex tableau with Bland's rule."""
+
+    def __init__(self, rows: list[list[Fraction]], basis: list[int]) -> None:
+        # Each row: [a_0 ... a_{n-1} | b];  objective occupies self.obj.
+        self.rows = rows
+        self.basis = basis
+        self.obj: list[Fraction] = []
+
+    def pivot(self, row: int, col: int) -> None:
+        pivot_val = self.rows[row][col]
+        self.rows[row] = [v / pivot_val for v in self.rows[row]]
+        for r in range(len(self.rows)):
+            if r != row and self.rows[r][col] != 0:
+                factor = self.rows[r][col]
+                self.rows[r] = [
+                    a - factor * b for a, b in zip(self.rows[r], self.rows[row])
+                ]
+        if self.obj and self.obj[col] != 0:
+            factor = self.obj[col]
+            self.obj = [a - factor * b for a, b in zip(self.obj, self.rows[row])]
+        self.basis[row] = col
+
+    def optimize(self, allowed_cols: int) -> str:
+        """Minimize the objective row; returns 'optimal' or 'unbounded'.
+
+        ``allowed_cols`` restricts entering columns (used to exclude
+        artificial variables during phase two).
+        """
+        max_iters = 50_000
+        for _ in range(max_iters):
+            entering = -1
+            for col in range(allowed_cols):
+                if self.obj[col] < 0:  # Bland: first improving column
+                    entering = col
+                    break
+            if entering < 0:
+                return "optimal"
+            leaving = -1
+            best_ratio: Fraction | None = None
+            for r, row in enumerate(self.rows):
+                if row[entering] > 0:
+                    ratio = row[-1] / row[entering]
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and self.basis[r] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = r
+            if leaving < 0:
+                return "unbounded"
+            self.pivot(leaving, entering)
+        raise SolverError("simplex exceeded iteration limit")
+
+
+def lp_solve(
+    constraints: Sequence[LinearConstraint],
+    objective: LinearExpr | None = None,
+    maximize: bool = False,
+) -> LPResult:
+    """Solve ``min/max objective s.t. constraints`` over the rationals.
+
+    All variables are free (unrestricted in sign).  With no objective
+    this is a pure feasibility check.
+    """
+    variables: list[Hashable] = []
+    seen: set[Hashable] = set()
+    for con in constraints:
+        for v in con.expr.variables():
+            if v not in seen:
+                seen.add(v)
+                variables.append(v)
+    if objective is not None:
+        for v in objective.variables():
+            if v not in seen:
+                seen.add(v)
+                variables.append(v)
+    var_index = {v: i for i, v in enumerate(variables)}
+    nfree = len(variables)
+
+    # Column layout: [x+_0, x-_0, ..., x+_{n-1}, x-_{n-1}, slacks..., artificials...]
+    nslack = sum(1 for con in constraints if con.op == "<=")
+    base_cols = 2 * nfree
+    slack_start = base_cols
+    art_start = slack_start + nslack
+    total_cols = art_start + len(constraints)  # worst case: one artificial per row
+
+    rows: list[list[Fraction]] = []
+    basis: list[int] = []
+    slack_idx = 0
+    art_idx = 0
+    zero = Fraction(0)
+    one = Fraction(1)
+
+    for con in constraints:
+        row = [zero] * (total_cols + 1)
+        for v, c in con.expr.coeffs:
+            j = var_index[v]
+            row[2 * j] += Fraction(c)
+            row[2 * j + 1] -= Fraction(c)
+        rhs = Fraction(con.bound)
+        if con.op == "<=":
+            row[slack_start + slack_idx] = one
+            slack_col = slack_start + slack_idx
+            slack_idx += 1
+        else:
+            slack_col = -1
+        row[-1] = rhs
+        if row[-1] < 0:
+            row = [-v for v in row]
+        # Choose a basic column: the slack if usable, else an artificial.
+        if slack_col >= 0 and row[slack_col] == one:
+            basis.append(slack_col)
+        else:
+            col = art_start + art_idx
+            art_idx += 1
+            row[col] = one
+            basis.append(col)
+        rows.append(row)
+
+    tableau = _Tableau(rows, basis)
+
+    # Phase one: minimize the sum of artificial variables.
+    if art_idx > 0:
+        obj = [zero] * (total_cols + 1)
+        for col in range(art_start, art_start + art_idx):
+            obj[col] = one
+        # Express the objective in terms of non-basic variables.
+        for r, b in enumerate(tableau.basis):
+            if obj[b] != 0:
+                factor = obj[b]
+                obj = [a - factor * v for a, v in zip(obj, tableau.rows[r])]
+        tableau.obj = obj
+        status = tableau.optimize(total_cols)
+        if status != "optimal" or -tableau.obj[-1] != 0:
+            return LPResult("infeasible", {}, zero)
+        # Pivot any artificial variables remaining in the basis out.
+        for r in range(len(tableau.rows)):
+            if tableau.basis[r] >= art_start:
+                for col in range(art_start):
+                    if tableau.rows[r][col] != 0:
+                        tableau.pivot(r, col)
+                        break
+
+    # Phase two.
+    sign = -1 if maximize else 1
+    obj = [zero] * (total_cols + 1)
+    if objective is not None:
+        for v, c in objective.coeffs:
+            j = var_index[v]
+            obj[2 * j] += sign * Fraction(c)
+            obj[2 * j + 1] -= sign * Fraction(c)
+    for r, b in enumerate(tableau.basis):
+        if obj[b] != 0:
+            factor = obj[b]
+            obj = [a - factor * v for a, v in zip(obj, tableau.rows[r])]
+    tableau.obj = obj
+    status = tableau.optimize(art_start)  # artificials stay non-basic
+    if status == "unbounded":
+        return LPResult("unbounded", {}, zero)
+
+    values = [zero] * total_cols
+    for r, b in enumerate(tableau.basis):
+        if b < total_cols:
+            values[b] = tableau.rows[r][-1]
+    assignment = {
+        v: values[2 * i] - values[2 * i + 1] for v, i in var_index.items()
+    }
+    obj_value = zero
+    if objective is not None:
+        obj_value = objective.const + sum(
+            (Fraction(c) * assignment[v] for v, c in objective.coeffs), zero
+        )
+    return LPResult("optimal", assignment, obj_value)

@@ -1,0 +1,111 @@
+"""The per-site transactional engine.
+
+Combines the object store, the strict-2PL lock manager and the undo
+journal into the interface the protocol layer needs:
+
+- ``begin() -> StorageTxn`` with ``read`` / ``write`` / ``commit`` /
+  ``abort``;
+- reads take S locks, writes take X locks (strict 2PL: everything is
+  held until commit/abort), so committed local histories are conflict-
+  serializable -- satisfying the protocol's first normal-execution
+  invariant (Section 3.3);
+- ``peek`` / ``poke`` bypass transactions for synchronization-phase
+  state exchange (the protocol performs those while the site is
+  quiesced);
+- an update counter per object supports the cleanup-phase broadcast
+  of "every local object updated since the start of the round".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.storage.kvstore import KVStore
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.wal import UndoLog
+
+
+class TxnAborted(Exception):
+    """Operations on a finished transaction handle."""
+
+
+@dataclass
+class StorageTxn:
+    """A handle on one open transaction."""
+
+    txn_id: int
+    engine: "LocalEngine"
+    undo: UndoLog = field(default_factory=UndoLog)
+    log: list[int] = field(default_factory=list)
+    active: bool = True
+    #: objects this transaction wrote (for round-level dirty tracking)
+    written: set[str] = field(default_factory=set)
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise TxnAborted(f"txn {self.txn_id} is finished")
+
+    def read(self, name: str, wait: bool = False) -> int:
+        self._check_active()
+        self.engine.locks.acquire(self.txn_id, name, LockMode.S, wait=wait)
+        return self.engine.store.get(name)
+
+    def write(self, name: str, value: int, wait: bool = False) -> None:
+        self._check_active()
+        self.engine.locks.acquire(self.txn_id, name, LockMode.X, wait=wait)
+        self.undo.record(self.engine.store, name)
+        self.engine.store.put(name, value)
+        self.written.add(name)
+
+    def emit(self, value: int) -> None:
+        self._check_active()
+        self.log.append(value)
+
+    def commit(self) -> None:
+        self._check_active()
+        self.active = False
+        self.undo.clear()
+        for name in self.written:
+            self.engine.dirty_counts[name] = self.engine.dirty_counts.get(name, 0) + 1
+        self.engine.locks.release_all(self.txn_id)
+        self.engine.committed += 1
+
+    def abort(self) -> None:
+        self._check_active()
+        self.active = False
+        self.undo.rollback(self.engine.store)
+        self.engine.locks.release_all(self.txn_id)
+        self.engine.aborted += 1
+
+
+@dataclass
+class LocalEngine:
+    """One site's storage engine."""
+
+    store: KVStore = field(default_factory=KVStore)
+    locks: LockManager = field(default_factory=LockManager)
+    #: per-object committed-write counters since the last checkpoint
+    dirty_counts: dict[str, int] = field(default_factory=dict)
+    committed: int = 0
+    aborted: int = 0
+    _ids: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def begin(self) -> StorageTxn:
+        return StorageTxn(txn_id=next(self._ids), engine=self)
+
+    # -- non-transactional access (synchronization phases) ---------------------
+
+    def peek(self, name: str) -> int:
+        return self.store.get(name)
+
+    def poke(self, name: str, value: int) -> None:
+        self.store.put(name, value)
+
+    def dirty_objects(self) -> set[str]:
+        """Objects committed-to since the last checkpoint."""
+        return set(self.dirty_counts)
+
+    def checkpoint(self) -> None:
+        """Reset dirty tracking (called at round boundaries)."""
+        self.dirty_counts.clear()

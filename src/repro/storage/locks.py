@@ -1,0 +1,233 @@
+"""Strict two-phase locking with deadlock detection.
+
+The homeostasis protocol's first normal-execution invariant requires
+each site's interleavings to be (view-)serializable; the paper's
+prototype "relies on the concurrency control mechanism of the
+transaction processing engine" (MySQL) for this.  This module is that
+mechanism for our engine:
+
+- shared (S) and exclusive (X) lock modes per object, with upgrade;
+- FIFO wait queues; a requester that cannot be granted immediately is
+  enqueued and reported as blocked;
+- deadlock detection on the wait-for graph (depth-first cycle search)
+  -- the victim is the requester that closed the cycle;
+- an optional lock-wait timeout measured in "ticks" supplied by the
+  caller, modelling MySQL's ``innodb_lock_wait_timeout`` whose 1 s
+  minimum produces the paper's long latency tails (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LockMode(enum.Enum):
+    S = "S"
+    X = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.S and other is LockMode.S
+
+
+class DeadlockError(Exception):
+    """Granting would close a wait-for cycle; the requester is the victim."""
+
+    def __init__(self, victim: int, cycle: list[int]) -> None:
+        super().__init__(f"deadlock: txn {victim} in cycle {cycle}")
+        self.victim = victim
+        self.cycle = cycle
+
+
+class LockTimeoutError(Exception):
+    """A waiter exceeded the lock-wait timeout."""
+
+    def __init__(self, txn: int, name: str) -> None:
+        super().__init__(f"txn {txn} timed out waiting for {name!r}")
+        self.txn = txn
+        self.name = name
+
+
+class WouldBlock(Exception):
+    """Raised in no-wait mode when a lock cannot be granted immediately."""
+
+    def __init__(self, txn: int, name: str, holders: list[int]) -> None:
+        super().__init__(f"txn {txn} would block on {name!r} held by {holders}")
+        self.txn = txn
+        self.name = name
+        self.holders = holders
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+@dataclass
+class LockManager:
+    """Per-site lock table."""
+
+    #: None disables timeouts; otherwise waiters expire after this many ticks.
+    wait_timeout: int | None = None
+    _locks: dict[str, _LockState] = field(default_factory=dict)
+    _held: dict[int, set[str]] = field(default_factory=dict)
+    _wait_since: dict[int, int] = field(default_factory=dict)
+    _clock: int = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def holders(self, name: str) -> dict[int, LockMode]:
+        return dict(self._locks.get(name, _LockState()).holders)
+
+    def waiting(self, txn: int) -> str | None:
+        """The object ``txn`` is currently queued on, if any."""
+        for name, state in self._locks.items():
+            if any(t == txn for t, _ in state.queue):
+                return name
+        return None
+
+    def wait_for_graph(self) -> dict[int, set[int]]:
+        """Edges waiter -> holder/earlier-waiter blocking it."""
+        graph: dict[int, set[int]] = {}
+        for state in self._locks.values():
+            blockers = set(state.holders)
+            for txn, _mode in state.queue:
+                edges = {b for b in blockers if b != txn}
+                if edges:
+                    graph.setdefault(txn, set()).update(edges)
+                blockers.add(txn)  # FIFO: later waiters also wait on earlier
+        return graph
+
+    def find_cycle_from(self, start: int) -> list[int] | None:
+        graph = self.wait_for_graph()
+        path: list[int] = []
+        on_path: set[int] = set()
+        visited: set[int] = set()
+
+        def dfs(node: int) -> list[int] | None:
+            if node in on_path:
+                return path[path.index(node) :]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            on_path.add(node)
+            for nxt in graph.get(node, ()):
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.remove(node)
+            return None
+
+        return dfs(start)
+
+    # -- acquisition --------------------------------------------------------------
+
+    def _can_grant(self, state: _LockState, txn: int, mode: LockMode) -> bool:
+        held = state.holders.get(txn)
+        if held is LockMode.X or held is mode:
+            return True  # reentrant / already stronger
+        others = {t: m for t, m in state.holders.items() if t != txn}
+        if mode is LockMode.S:
+            granted_ok = all(m is LockMode.S for m in others.values())
+            # FIFO fairness: an S request must also not jump over queued X.
+            queued_x = any(m is LockMode.X for _t, m in state.queue)
+            return granted_ok and not queued_x
+        return not others
+
+    def acquire(self, txn: int, name: str, mode: LockMode, wait: bool = True) -> bool:
+        """Try to take a lock.
+
+        Returns True if granted.  If blocked: in wait mode the request
+        is queued (returns False; deadlock raises
+        :class:`DeadlockError` immediately); in no-wait mode raises
+        :class:`WouldBlock`.
+        """
+        state = self._locks.setdefault(name, _LockState())
+        if self._can_grant(state, txn, mode):
+            current = state.holders.get(txn)
+            if mode is LockMode.X or current is LockMode.X:
+                state.holders[txn] = LockMode.X
+            else:
+                state.holders[txn] = LockMode.S
+            self._held.setdefault(txn, set()).add(name)
+            return True
+        if not wait:
+            raise WouldBlock(txn, name, sorted(state.holders))
+        if not any(t == txn for t, _ in state.queue):
+            state.queue.append((txn, mode))
+            self._wait_since[txn] = self._clock
+        cycle = self.find_cycle_from(txn)
+        if cycle is not None:
+            self._remove_from_queue(txn, name)
+            raise DeadlockError(txn, cycle)
+        return False
+
+    def _remove_from_queue(self, txn: int, name: str) -> None:
+        state = self._locks.get(name)
+        if state is not None:
+            state.queue = [(t, m) for t, m in state.queue if t != txn]
+        self._wait_since.pop(txn, None)
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, txn: int) -> list[int]:
+        """Release every lock of ``txn``; return newly unblocked txns."""
+        unblocked: list[int] = []
+        for name in sorted(self._held.pop(txn, set())):
+            state = self._locks.get(name)
+            if state is None:
+                continue
+            state.holders.pop(txn, None)
+            unblocked.extend(self._drain_queue(name, state))
+            if not state.holders and not state.queue:
+                del self._locks[name]
+        # The transaction may also be waiting somewhere (abort path).
+        waiting_on = self.waiting(txn)
+        if waiting_on is not None:
+            self._remove_from_queue(txn, waiting_on)
+            state = self._locks.get(waiting_on)
+            if state is not None:
+                unblocked.extend(self._drain_queue(waiting_on, state))
+        self._wait_since.pop(txn, None)
+        return unblocked
+
+    def _drain_queue(self, name: str, state: _LockState) -> list[int]:
+        granted: list[int] = []
+        while state.queue:
+            txn, mode = state.queue[0]
+            others = {t: m for t, m in state.holders.items() if t != txn}
+            compatible = (
+                not others
+                if mode is LockMode.X
+                else all(m is LockMode.S for m in others.values())
+            )
+            if not compatible:
+                break
+            state.queue.pop(0)
+            current = state.holders.get(txn)
+            state.holders[txn] = (
+                LockMode.X if mode is LockMode.X or current is LockMode.X else mode
+            )
+            self._held.setdefault(txn, set()).add(name)
+            self._wait_since.pop(txn, None)
+            granted.append(txn)
+        return granted
+
+    # -- time ------------------------------------------------------------------------
+
+    def tick(self, amount: int = 1) -> list[LockTimeoutError]:
+        """Advance the lock clock; expire waiters past the timeout."""
+        self._clock += amount
+        if self.wait_timeout is None:
+            return []
+        expired: list[LockTimeoutError] = []
+        for txn, since in list(self._wait_since.items()):
+            if self._clock - since >= self.wait_timeout:
+                name = self.waiting(txn)
+                if name is not None:
+                    self._remove_from_queue(txn, name)
+                    expired.append(LockTimeoutError(txn, name))
+        return expired

@@ -1,0 +1,138 @@
+"""Relational veneer over the object store.
+
+TPC-C needs tables (Section 6.2); the paper's formal model needs only
+integer objects.  Appendix A reconciles the two by encoding relations
+as bounded arrays of objects, and this module implements that
+encoding for the runtime side, mirroring exactly the naming scheme
+the analysis uses for L++ arrays:
+
+- column ``c`` of the row with primary key ``(7, 3)`` in table ``t``
+  is the object ``t_c[7,3]`` (:func:`repro.logic.terms.ground_name`
+  of base ``t_c``);
+- row existence is the 0/1 object ``t__exists[7,3]``.
+
+All values are integers, as in the paper's model; TPC-C string fields
+(names, addresses) play no role in any transaction's control flow and
+are omitted -- only fields the three transactions read or write are
+materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.logic.terms import ground_name
+from repro.storage.kvstore import KVStore
+
+
+class TableError(Exception):
+    """Schema violations and missing rows."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A table schema: name, key arity, and non-key column names."""
+
+    name: str
+    key_columns: tuple[str, ...]
+    value_columns: tuple[str, ...]
+
+    def column_base(self, column: str) -> str:
+        if column not in self.value_columns:
+            raise TableError(f"unknown column {column!r} in table {self.name!r}")
+        return f"{self.name}_{column}"
+
+    def exists_base(self) -> str:
+        return f"{self.name}__exists"
+
+
+@dataclass
+class Table:
+    """Accessor for one table over a store (or any get/put callbacks).
+
+    Designed to work both directly on a :class:`KVStore` and through a
+    transaction handle, so stored procedures can use the same schema
+    objects with locked access.
+    """
+
+    schema: Schema
+    getobj: Callable[[str], int]
+    setobj: Callable[[str, int], None]
+
+    @classmethod
+    def over_store(cls, schema: Schema, store: KVStore) -> "Table":
+        return cls(schema=schema, getobj=store.get, setobj=store.put)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _key(self, key: Sequence[int]) -> tuple[int, ...]:
+        key = tuple(key)
+        if len(key) != len(self.schema.key_columns):
+            raise TableError(
+                f"table {self.schema.name!r} key has arity "
+                f"{len(self.schema.key_columns)}, got {key!r}"
+            )
+        return key
+
+    def column_object(self, column: str, key: Sequence[int]) -> str:
+        return ground_name(self.schema.column_base(column), self._key(key))
+
+    def exists_object(self, key: Sequence[int]) -> str:
+        return ground_name(self.schema.exists_base(), self._key(key))
+
+    # -- row operations ---------------------------------------------------------
+
+    def exists(self, key: Sequence[int]) -> bool:
+        return self.getobj(self.exists_object(key)) != 0
+
+    def insert(self, key: Sequence[int], values: Mapping[str, int]) -> None:
+        if self.exists(key):
+            raise TableError(f"duplicate key {tuple(key)} in {self.schema.name!r}")
+        missing = set(self.schema.value_columns) - set(values)
+        if missing:
+            raise TableError(f"missing columns {sorted(missing)} on insert")
+        for column, value in values.items():
+            self.setobj(self.column_object(column, key), value)
+        self.setobj(self.exists_object(key), 1)
+
+    def delete(self, key: Sequence[int]) -> None:
+        if not self.exists(key):
+            raise TableError(f"no row {tuple(key)} in {self.schema.name!r}")
+        # Appendix A: deletion marks the slot unused; values become
+        # irrelevant placeholders and are zeroed for tidiness.
+        for column in self.schema.value_columns:
+            self.setobj(self.column_object(column, key), 0)
+        self.setobj(self.exists_object(key), 0)
+
+    def get(self, key: Sequence[int], column: str) -> int:
+        if not self.exists(key):
+            raise TableError(f"no row {tuple(key)} in {self.schema.name!r}")
+        return self.getobj(self.column_object(column, key))
+
+    def update(self, key: Sequence[int], column: str, value: int) -> None:
+        if not self.exists(key):
+            raise TableError(f"no row {tuple(key)} in {self.schema.name!r}")
+        self.setobj(self.column_object(column, key), value)
+
+    def read_row(self, key: Sequence[int]) -> dict[str, int]:
+        if not self.exists(key):
+            raise TableError(f"no row {tuple(key)} in {self.schema.name!r}")
+        return {
+            column: self.getobj(self.column_object(column, key))
+            for column in self.schema.value_columns
+        }
+
+    # -- scans -------------------------------------------------------------------
+
+    def scan(self, keys: Iterator[Sequence[int]]) -> Iterator[tuple[tuple[int, ...], dict[str, int]]]:
+        """Yield existing rows among the candidate keys.
+
+        Relations are bounded (Appendix A), so the caller supplies the
+        candidate key space, exactly like the sequential scan the L
+        encoding performs.
+        """
+        for key in keys:
+            key = self._key(key)
+            if self.exists(key):
+                yield key, self.read_row(key)

@@ -1,0 +1,47 @@
+"""Per-transaction undo journal.
+
+Records before-images so aborts restore the store exactly.  Only the
+first write of a transaction to each object is journaled (later writes
+overwrite the same slot, and the oldest before-image is what rollback
+must restore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.kvstore import KVStore
+
+
+@dataclass
+class UndoLog:
+    """Before-images of one transaction's writes, in write order."""
+
+    entries: list[tuple[str, int, bool]] = field(default_factory=list)
+    _seen: set[str] = field(default_factory=set)
+
+    def record(self, store: KVStore, name: str) -> None:
+        """Journal the current value of ``name`` before overwriting it."""
+        if name in self._seen:
+            return
+        self._seen.add(name)
+        self.entries.append((name, store.get(name), name in store))
+
+    def rollback(self, store: KVStore) -> None:
+        """Restore all before-images, newest first."""
+        for name, value, existed in reversed(self.entries):
+            if existed:
+                store.put(name, value)
+            else:
+                store.delete(name)
+        self.clear()
+
+    def written_objects(self) -> list[str]:
+        return [name for name, _value, _existed in self.entries]
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._seen.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,53 @@
+"""Treaty generation and enforcement (Section 4, Appendix C).
+
+Pipeline per protocol round:
+
+1. pick the joint-table row psi matching the current database;
+2. preprocess psi into a conjunction of linear constraints
+   (:func:`repro.logic.linearize.linearize_for_treaty`);
+3. split each clause into per-site templates with configuration
+   variables (:mod:`repro.treaty.templates`);
+4. instantiate the configuration -- the always-valid Theorem 4.3
+   default, the demarcation-style equal split, or the Algorithm 1
+   workload-optimized assignment (:mod:`repro.treaty.config` /
+   :mod:`repro.treaty.optimize`);
+5. install the per-site local treaties into the treaty table
+   (:mod:`repro.treaty.table`) for cheap per-commit checking.
+"""
+
+from repro.treaty.templates import (
+    ClauseTemplate,
+    ConfigVar,
+    TreatyTemplates,
+    build_templates,
+)
+from repro.treaty.config import (
+    Configuration,
+    check_h1_algebraic,
+    check_h1_semantic,
+    check_h2,
+    default_configuration,
+    equal_split_configuration,
+    local_treaties,
+)
+from repro.treaty.optimize import OptimizerStats, WorkloadModel, optimize_configuration
+from repro.treaty.table import LocalTreaty, TreatyTable
+
+__all__ = [
+    "ClauseTemplate",
+    "ConfigVar",
+    "Configuration",
+    "LocalTreaty",
+    "OptimizerStats",
+    "TreatyTable",
+    "TreatyTemplates",
+    "WorkloadModel",
+    "build_templates",
+    "check_h1_algebraic",
+    "check_h1_semantic",
+    "check_h2",
+    "default_configuration",
+    "equal_split_configuration",
+    "local_treaties",
+    "optimize_configuration",
+]

@@ -1,0 +1,252 @@
+"""Algorithm 1 (Appendix C.2): workload-optimized treaty configurations.
+
+Given the local treaty templates, a workload model and two tunable
+parameters -- the lookahead interval ``L`` and the cost factor ``f``
+-- the optimizer:
+
+1. emits the hard constraints theta_h (locals imply the global
+   treaty, one linear constraint over configuration variables per
+   clause);
+2. samples ``f`` future executions of ``L`` transactions each from
+   the workload model and replays them on a scratch copy of the
+   current database, recording after every transaction the soft
+   constraint "the local treaties hold on this state" -- which,
+   plugging the state's local sums into the templates, is an upper
+   bound on each clause's configuration variables (simplified to the
+   tightest bound per variable per execution, exactly as in the
+   worked example of Appendix C.2);
+3. hands hard + soft constraints to a MaxSAT engine: either the
+   faithful Fu-Malik procedure over our LIA solver, or the exact
+   specialized budget solver (default -- orders of magnitude faster,
+   same optima; see ``benchmarks/bench_ablation_maxsat.py``).
+
+Equality clauses admit no optimization freedom under the per-clause
+split (their configuration variables are pinned by the H1 equality),
+so they take the Theorem 4.3 default.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol, Sequence
+
+from repro.lang.ast import Transaction
+from repro.lang.interp import evaluate
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.solver.fastmaxsat import BudgetInstance, solve_budget_allocation
+from repro.solver.maxsat import fu_malik_maxsat
+from repro.treaty.config import Configuration, default_configuration
+from repro.treaty.templates import ConfigVar, TreatyTemplates
+
+
+class WorkloadModel(Protocol):
+    """A generative model of the expected future workload.
+
+    The paper leaves the model's provenance open ("generated
+    dynamically by gathering workload data as the system runs, or in
+    other ways"); the optimizer only needs :meth:`sample`.
+    """
+
+    def sample(self, rng: random.Random, length: int) -> list[tuple[str, dict[str, int]]]:
+        """Return a sequence of (transaction name, parameter values)."""
+        ...
+
+
+@dataclass
+class SequenceWorkloadModel:
+    """A workload model drawing i.i.d. transactions from a weighted mix.
+
+    ``mix`` maps transaction names to relative frequencies;
+    ``param_sampler`` draws parameter values per transaction.
+    """
+
+    mix: dict[str, float]
+    param_sampler: Callable[[random.Random, str], dict[str, int]] = (
+        lambda rng, name: {}
+    )
+
+    def sample(self, rng: random.Random, length: int) -> list[tuple[str, dict[str, int]]]:
+        names = list(self.mix)
+        weights = [self.mix[n] for n in names]
+        out = []
+        for _ in range(length):
+            name = rng.choices(names, weights=weights, k=1)[0]
+            out.append((name, self.param_sampler(rng, name)))
+        return out
+
+
+@dataclass
+class OptimizerStats:
+    """Observability for benchmarks (Figure 24's solver-time column)."""
+
+    sampled_states: int = 0
+    soft_constraints: int = 0
+    satisfied: int = 0
+    engine: str = "fast"
+
+
+def _simulate_sequence(
+    db: dict[str, int],
+    sequence: Sequence[tuple[str, dict[str, int]]],
+    transactions: Mapping[str, Transaction],
+    arrays: Mapping[str, tuple[int, ...]] | None,
+) -> list[dict[str, int]]:
+    """Replay a sampled sequence, returning the post-state after every
+    transaction (Algorithm 1 line 8: [D_1, ..., D_L])."""
+    states: list[dict[str, int]] = []
+    current = dict(db)
+    for name, params in sequence:
+        tx = transactions[name]
+        result = evaluate(tx, current, params=params, arrays=arrays)
+        current = result.db
+        states.append(current)
+    return states
+
+
+def sample_executions(
+    db_snapshot: Mapping[str, int],
+    transactions: Mapping[str, Transaction],
+    model: WorkloadModel,
+    lookahead: int,
+    cost_factor: int,
+    rng: random.Random,
+    arrays: Mapping[str, tuple[int, ...]] | None = None,
+) -> list[list[dict[str, int]]]:
+    """Lines 6-8 of Algorithm 1: f sampled executions of length L,
+    each yielding its sequence of post-transaction database states."""
+    runs: list[list[dict[str, int]]] = []
+    for _ in range(cost_factor):
+        sequence = model.sample(rng, lookahead)
+        runs.append(
+            _simulate_sequence(dict(db_snapshot), sequence, transactions, arrays)
+        )
+    return runs
+
+
+def configure_from_samples(
+    templates: TreatyTemplates,
+    getobj: Callable[[str], int],
+    state_runs: list[list[dict[str, int]]],
+    engine: str = "fast",
+) -> tuple[Configuration, OptimizerStats]:
+    """Lines 9-13 of Algorithm 1 given pre-sampled executions.
+
+    Split out from :func:`optimize_configuration` so an incremental
+    treaty generator can sample the workload once and configure many
+    template groups against the same futures.
+    """
+    stats = OptimizerStats(engine=engine)
+    base = default_configuration(templates, getobj)
+
+    # Soft bounds per configuration variable: one entry per sampled
+    # execution (the tightest bound over that execution's states).
+    soft_bounds: dict[ConfigVar, list[int]] = {}
+    opt_clauses = [cl for cl in templates.clauses if cl.op == "<="]
+    if not opt_clauses or not state_runs:
+        return base, stats
+
+    for states in state_runs:
+        stats.sampled_states += len(states)
+        tightest: dict[ConfigVar, int] = {}
+        for state in states:
+            lookup = lambda name: state.get(name, 0)  # noqa: E731
+            for clause in opt_clauses:
+                for site in clause.sites:
+                    var = clause.config_var(site)
+                    bound = clause.bound - clause.local_sum_on(site, lookup)
+                    prev = tightest.get(var)
+                    if prev is None or bound < prev:
+                        tightest[var] = bound
+        for var, bound in tightest.items():
+            soft_bounds.setdefault(var, []).append(bound)
+
+    stats.soft_constraints = sum(len(v) for v in soft_bounds.values())
+    values = dict(base.values)
+
+    if engine == "fast":
+        for clause in opt_clauses:
+            # base.values holds the Theorem 4.3 frozen defaults, which
+            # for <=-clauses are exactly the H2 caps n - local_sum(D).
+            # Sampled demand (cap minus tightest sampled bound) steers
+            # the distribution of leftover slack.
+            demand: dict[ConfigVar, int] = {}
+            for site in clause.sites:
+                var = clause.config_var(site)
+                bounds = soft_bounds.get(var, [])
+                cap = base.values[var]
+                demand[var] = max(cap - min(bounds), 0) if bounds else 0
+            # Laplace-style smoothing: finite samples of a uniform
+            # workload should not produce a lopsided split.
+            total_demand = sum(demand.values())
+            smoothing = max(1, total_demand // (2 * len(clause.sites)))
+            demand = {var: d + smoothing for var, d in demand.items()}
+            instance = BudgetInstance(
+                sites=[clause.config_var(s) for s in clause.sites],
+                required_total=(len(clause.sites) - 1) * clause.bound,
+                soft_upper={
+                    clause.config_var(s): soft_bounds.get(clause.config_var(s), [])
+                    for s in clause.sites
+                },
+                hard_upper={
+                    clause.config_var(s): base.values[clause.config_var(s)]
+                    for s in clause.sites
+                },
+                slack_weights=demand,
+            )
+            solution = solve_budget_allocation(instance)
+            values.update(solution.assignment)
+            stats.satisfied += solution.satisfied
+    elif engine == "fumalik":
+        hard = [cl.hard_constraint() for cl in opt_clauses]
+        # H2 caps as hard constraints.
+        for clause in opt_clauses:
+            for site in clause.sites:
+                var = clause.config_var(site)
+                hard.append(
+                    LinearConstraint.make(
+                        LinearExpr.variable(var), "<=", base.values[var]
+                    )
+                )
+        soft: list[LinearConstraint] = []
+        for var, bounds in sorted(soft_bounds.items(), key=lambda kv: repr(kv[0])):
+            for b in bounds:
+                soft.append(LinearConstraint.make(LinearExpr.variable(var), "<=", b))
+        result = fu_malik_maxsat(hard, soft)
+        for clause in opt_clauses:
+            for site in clause.sites:
+                var = clause.config_var(site)
+                if var in result.assignment:
+                    values[var] = result.assignment[var]
+        stats.satisfied = result.num_satisfied
+    else:
+        raise ValueError(f"unknown MaxSAT engine {engine!r}")
+
+    return Configuration(values=values, strategy=f"optimized-{engine}"), stats
+
+
+def optimize_configuration(
+    templates: TreatyTemplates,
+    getobj: Callable[[str], int],
+    db_snapshot: Mapping[str, int],
+    transactions: Mapping[str, Transaction],
+    model: WorkloadModel,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    rng: random.Random | None = None,
+    engine: str = "fast",
+    arrays: Mapping[str, tuple[int, ...]] | None = None,
+) -> tuple[Configuration, OptimizerStats]:
+    """Algorithm 1: find a valid configuration minimizing expected
+    violations over sampled future executions.
+
+    ``engine`` is ``"fast"`` (specialized exact budget solver) or
+    ``"fumalik"`` (the faithful Fu-Malik reimplementation).
+    """
+    rng = rng or random.Random(0)
+    if lookahead <= 0 or cost_factor <= 0:
+        return default_configuration(templates, getobj), OptimizerStats(engine=engine)
+    runs = sample_executions(
+        db_snapshot, transactions, model, lookahead, cost_factor, rng, arrays
+    )
+    return configure_from_samples(templates, getobj, runs, engine=engine)

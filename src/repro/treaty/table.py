@@ -1,0 +1,135 @@
+"""The treaty table (Section 5.1).
+
+"The protocol initializer sets up the treaty table -- a data structure
+that at any given time contains the current global treaty and the
+current local treaty configuration."  Each site keeps a copy; stored
+procedures consult it on every commit, and the treaty negotiator
+replaces it at each round boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.logic.linear import LinearConstraint
+from repro.logic.linearize import LinearizedTreaty
+from repro.logic.terms import ObjT
+from repro.treaty.config import Configuration, local_treaties
+from repro.treaty.templates import TreatyTemplates
+
+
+def _evaluate(con: LinearConstraint, getobj: Callable[[str], int]) -> bool:
+    total = 0
+    for var, coeff in con.expr.coeffs:
+        assert isinstance(var, ObjT)
+        total += coeff * getobj(var.name)
+    return total <= con.bound if con.op == "<=" else total == con.bound
+
+
+@dataclass
+class LocalTreaty:
+    """The conjunction of local treaty clauses enforced at one site."""
+
+    site: int
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    _by_object: dict[str, list[LinearConstraint]] | None = None
+
+    def holds(self, getobj: Callable[[str], int]) -> bool:
+        return all(_evaluate(con, getobj) for con in self.constraints)
+
+    def holds_after_writes(
+        self, getobj: Callable[[str], int], written: set[str]
+    ) -> bool:
+        """Treaty check restricted to clauses touching written objects.
+
+        Sound fast path for the per-commit check: the treaty held
+        before the transaction (H2 at round start, inductively per
+        commit), and a clause's truth value can only change if one of
+        its objects was written.
+        """
+        if self._by_object is None:
+            index: dict[str, list[LinearConstraint]] = {}
+            for con in self.constraints:
+                for var in con.variables():
+                    assert isinstance(var, ObjT)
+                    index.setdefault(var.name, []).append(con)
+            self._by_object = index
+        seen: set[int] = set()
+        for name in written:
+            for con in self._by_object.get(name, ()):
+                if id(con) in seen:
+                    continue
+                seen.add(id(con))
+                if not _evaluate(con, getobj):
+                    return False
+        return True
+
+    def violated_clauses(self, getobj: Callable[[str], int]) -> list[LinearConstraint]:
+        return [con for con in self.constraints if not _evaluate(con, getobj)]
+
+    def objects(self) -> set[str]:
+        names: set[str] = set()
+        for con in self.constraints:
+            for var in con.variables():
+                assert isinstance(var, ObjT)
+                names.add(var.name)
+        return names
+
+    def pretty(self) -> str:
+        body = " and ".join(c.pretty() for c in self.constraints) or "true"
+        return f"site {self.site}: {body}"
+
+
+@dataclass
+class TreatyTable:
+    """Current global treaty plus its per-site local treaties."""
+
+    global_treaty: LinearizedTreaty
+    templates: TreatyTemplates
+    configuration: Configuration
+    locals: dict[int, LocalTreaty] = field(default_factory=dict)
+    round_number: int = 0
+
+    @classmethod
+    def assemble(
+        cls,
+        global_treaty: LinearizedTreaty,
+        templates: TreatyTemplates,
+        configuration: Configuration,
+        round_number: int = 0,
+    ) -> "TreatyTable":
+        locals_ = {
+            site: LocalTreaty(
+                site=site,
+                constraints=[c for c in constraints if not c.is_trivially_true()],
+            )
+            for site, constraints in local_treaties(templates, configuration).items()
+        }
+        return cls(
+            global_treaty=global_treaty,
+            templates=templates,
+            configuration=configuration,
+            locals=locals_,
+            round_number=round_number,
+        )
+
+    def local_for(self, site: int) -> LocalTreaty:
+        return self.locals[site]
+
+    def check_local(self, site: int, getobj: Callable[[str], int]) -> bool:
+        """The per-commit check a stored procedure performs."""
+        return self.locals[site].holds(getobj)
+
+    def global_holds(self, getobj: Callable[[str], int]) -> bool:
+        """Direct check of the global treaty (needs a global view;
+        used in tests and during synchronization, never during normal
+        disconnected execution)."""
+        return self.global_treaty.holds_on(getobj)
+
+    def pretty(self) -> str:
+        lines = [f"treaty table (round {self.round_number})"]
+        lines.append("  global: " + self.global_treaty.pretty())
+        for site in sorted(self.locals):
+            lines.append("  " + self.locals[site].pretty())
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""The paper's workloads, packaged for the kernel and the simulator.
+
+- :mod:`repro.workloads.micro` -- the Section 6.1 microbenchmark:
+  a replicated ``Stock(itemid, qty)`` table with the decrement/refill
+  transaction of Listing 1, plus the multi-item variant of Appendix
+  F.1 (Figure 27).
+- :mod:`repro.workloads.tpcc` -- the Section 6.2 TPC-C subset:
+  New Order / Payment / Delivery encoded in L++ with the Appendix E
+  treaty structure.
+- :mod:`repro.workloads.topk` -- the Section 1 top-k aggregation
+  example (Figures 1-2).
+- :mod:`repro.workloads.weather` -- the Appendix D examples (top-k of
+  minimums; top-k temperature differences).
+"""
+
+from repro.workloads.micro import MicroWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.topk import TopKWorkload
+from repro.workloads.weather import WeatherWorkload
+
+__all__ = ["MicroWorkload", "TpccWorkload", "TopKWorkload", "WeatherWorkload"]

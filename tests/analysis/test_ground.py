@@ -1,0 +1,81 @@
+"""Tests for transaction grounding (repro.analysis.ground)."""
+
+import pytest
+
+from repro.analysis.ground import (
+    ground_instances,
+    instance_name,
+    subst_params_com,
+)
+from repro.lang.interp import evaluate
+from repro.lang.parser import parse_transaction
+
+BUY_SRC = """
+transaction Buy(i) {
+  q := read(qty(@i));
+  if q > @i then { write(qty(@i) = q - 1) } else { write(qty(@i) = 9) }
+}
+"""
+
+
+class TestSubstitution:
+    def test_body_substitution_matches_param_binding(self):
+        tx = parse_transaction(BUY_SRC)
+        db = {"qty[2]": 7}
+        bound = evaluate(tx, db, params={"i": 2})
+        grounded_body = subst_params_com(tx.body, {"i": 2})
+        from repro.lang.ast import Transaction
+
+        grounded = evaluate(Transaction("g", (), grounded_body), db)
+        assert bound.db == grounded.db and bound.log == grounded.log
+
+    def test_partial_substitution_keeps_other_params(self):
+        tx = parse_transaction(
+            "transaction T(a, b) { write(x = @a + @b) }"
+        )
+        body = subst_params_com(tx.body, {"a": 5})
+        rendered = body.pretty()
+        assert "@b" in rendered and "@a" not in rendered
+
+
+class TestGroundInstances:
+    def test_product_of_domains(self):
+        tx = parse_transaction("transaction T(a, b) { write(q(@a) = @b) }")
+        out = ground_instances(tx, {"a": [0, 1], "b": [5, 6, 7]})
+        assert len(out) == 6
+        assert all(gi.transaction.params == () for gi in out)
+
+    def test_names_are_unique_and_stable(self):
+        tx = parse_transaction("transaction T(a) { write(q(@a) = 1) }")
+        out = ground_instances(tx, {"a": [3, 4]})
+        names = [gi.transaction.name for gi in out]
+        assert names == [instance_name("T", {"a": 3}), instance_name("T", {"a": 4})]
+        assert len(set(names)) == 2
+
+    def test_missing_domain_rejected(self):
+        tx = parse_transaction("transaction T(a, b) { write(x = @a + @b) }")
+        with pytest.raises(ValueError):
+            ground_instances(tx, {"a": [1]})
+
+    def test_distinct_combinations_skipped(self):
+        tx = parse_transaction(
+            "transaction T(a, b) distinct(a, b) "
+            "{ write(q(@a) = 1); write(q(@b) = 2) }"
+        )
+        out = ground_instances(tx, {"a": [0, 1], "b": [0, 1]})
+        assert len(out) == 2  # (0,1) and (1,0); the diagonal is excluded
+
+    def test_instance_semantics(self):
+        tx = parse_transaction(BUY_SRC)
+        for gi in ground_instances(tx, {"i": [0, 1, 2]}):
+            values = dict(gi.params)
+            db = {f"qty[{values['i']}]": 10}
+            direct = evaluate(tx, db, params=values)
+            grounded = evaluate(gi.transaction, db)
+            assert direct.db == grounded.db
+
+    def test_family_metadata(self):
+        tx = parse_transaction("transaction T(a) { write(q(@a) = 1) }")
+        gi = ground_instances(tx, {"a": [7]})[0]
+        assert gi.family == "T"
+        assert gi.params == (("a", 7),)

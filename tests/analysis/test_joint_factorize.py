@@ -1,0 +1,164 @@
+"""Tests for joint tables (Section 2.2) and factorization (Section 5.1)."""
+
+import pytest
+
+from repro.analysis.factorize import factorize_workload, transactions_may_conflict
+from repro.analysis.joint import JointTableError, build_joint_table
+from repro.analysis.symbolic import build_symbolic_table
+from repro.lang.parser import parse_transaction
+
+T1_SRC = """
+transaction T1() {
+  xh := read(x); yh := read(y);
+  if xh + yh < 10 then { write(x = xh + 1) } else { write(x = xh - 1) }
+}
+"""
+T2_SRC = """
+transaction T2() {
+  xh := read(x); yh := read(y);
+  if xh + yh < 20 then { write(y = yh + 1) } else { write(y = yh - 1) }
+}
+"""
+
+
+def _tables(*sources):
+    return [build_symbolic_table(parse_transaction(s)) for s in sources]
+
+
+class TestJointTable:
+    def test_figure_4c_three_rows(self):
+        joint = build_joint_table(_tables(T1_SRC, T2_SRC))
+        assert len(joint) == 3  # the (x+y<10, x+y>=20) combo is pruned
+        guards = [row.guard.pretty() for row in joint.rows]
+        assert "(x + y) < 10" in guards
+
+    def test_unsimplified_keeps_product(self):
+        joint = build_joint_table(_tables(T1_SRC, T2_SRC), simplify=False)
+        assert len(joint) == 4
+
+    def test_lookup_unique(self):
+        joint = build_joint_table(_tables(T1_SRC, T2_SRC))
+        db = {"x": 10, "y": 13}
+        row = joint.lookup(lambda n: db.get(n, 0))
+        assert row.guard.evaluate(lambda n: db.get(n, 0))
+        assert len(row.residuals) == 2
+
+    def test_residual_for(self):
+        joint = build_joint_table(_tables(T1_SRC, T2_SRC))
+        db = {"x": 0, "y": 0}
+        row = joint.lookup(lambda n: db.get(n, 0))
+        residual = joint.residual_for(row, "T2")
+        assert "y" in residual.pretty()
+
+    def test_param_renaming(self):
+        a = build_symbolic_table(
+            parse_transaction(
+                "transaction A(p) { q := read(x); "
+                "if q < @p then { write(x = q + 1) } else { write(x = q - 1) } }"
+            )
+        )
+        b = build_symbolic_table(
+            parse_transaction(
+                "transaction B(p) { q := read(x); "
+                "if q < @p then { write(x = q + 2) } else { write(x = q - 2) } }"
+            )
+        )
+        joint = build_joint_table([a, b])
+        names = {p.name for row in joint.rows for p in row.guard.params()}
+        assert names <= {"A.p", "B.p"}
+
+    def test_duplicate_names_rejected(self):
+        t = _tables(T1_SRC)[0]
+        with pytest.raises(JointTableError):
+            build_joint_table([t, t])
+
+    def test_empty_rejected(self):
+        with pytest.raises(JointTableError):
+            build_joint_table([])
+
+
+class TestConflictDetection:
+    def test_shared_write_read(self):
+        a = parse_transaction("transaction A() { write(x = 1) }")
+        b = parse_transaction("transaction B() { t := read(x); write(y = t) }")
+        assert transactions_may_conflict(a, b)
+
+    def test_read_read_is_independent(self):
+        a = parse_transaction("transaction A() { t := read(x); write(u = t) }")
+        b = parse_transaction("transaction B() { t := read(x); write(v = t) }")
+        assert not transactions_may_conflict(a, b)
+
+    def test_distinct_ground_slots_independent(self):
+        a = parse_transaction("transaction A() { write(q(1) = 1) }")
+        b = parse_transaction("transaction B() { t := read(q(2)); write(z = t) }")
+        assert not transactions_may_conflict(a, b)
+
+    def test_parameterized_conflicts_with_base(self):
+        a = parse_transaction("transaction A(i) { write(q(@i) = 1) }")
+        b = parse_transaction("transaction B() { t := read(q(2)); write(z = t) }")
+        assert transactions_may_conflict(a, b)
+
+
+class TestFactorization:
+    def test_independent_split(self):
+        tables = _tables(
+            "transaction A() { t := read(x); write(x = t + 1) }",
+            "transaction B() { t := read(y); write(y = t + 1) }",
+        )
+        factored = factorize_workload(tables)
+        assert len(factored.factors) == 2
+        assert factored.materialized_rows() == 2
+        assert factored.implied_rows() == 1
+
+    def test_dependent_merge(self):
+        factored = factorize_workload(_tables(T1_SRC, T2_SRC))
+        assert len(factored.factors) == 1
+
+    def test_lookup_assembles_across_factors(self):
+        tables = _tables(
+            "transaction A() { t := read(x); if t < 5 then { write(x = t + 1) } else { write(x = 0) } }",
+            "transaction B() { t := read(y); if t < 7 then { write(y = t + 1) } else { write(y = 0) } }",
+        )
+        factored = factorize_workload(tables)
+        db = {"x": 2, "y": 9}
+        row = factored.lookup(lambda n: db.get(n, 0))
+        assert len(row.residuals) == 2
+        assert row.guard.evaluate(lambda n: db.get(n, 0))
+
+    def test_factorized_matches_full_joint(self):
+        """Semantic equivalence: the factorized lookup agrees with the
+        monolithic joint table on every database."""
+        sources = (
+            "transaction A() { t := read(x); if t < 5 then { write(x = t + 1) } else { write(x = 0) } }",
+            "transaction B() { t := read(y); if t < 7 then { write(y = t + 1) } else { write(y = 0) } }",
+            T1_SRC,
+        )
+        tables = _tables(*sources)
+        factored = factorize_workload(tables)
+        full = build_joint_table(tables)
+        for vx in range(-1, 12, 3):
+            for vy in range(-1, 12, 4):
+                db = {"x": vx, "y": vy}
+                lookup = lambda n: db.get(n, 0)  # noqa: E731
+                a = factored.lookup(lookup)
+                b = full.lookup(lookup)
+                # Same residuals modulo transaction order normalization.
+                assert {r.pretty() for r in a.residuals} == {
+                    r.pretty() for r in b.residuals
+                }
+
+    def test_scale_many_items(self):
+        """Grounding a parameterized family over n items factorizes
+        into n independent groups (what makes TPC-C tractable)."""
+        from repro.analysis.ground import ground_instances
+
+        family = parse_transaction(
+            "transaction Buy(i) { q := read(qty(@i)); "
+            "if q > 1 then { write(qty(@i) = q - 1) } else { write(qty(@i) = 9) } }"
+        )
+        tables = [
+            build_symbolic_table(gi.transaction)
+            for gi in ground_instances(family, {"i": range(30)})
+        ]
+        factored = factorize_workload(tables)
+        assert len(factored.factors) == 30

@@ -1,0 +1,143 @@
+"""Tests for LR-slices and observational equivalence (Section 3.2)."""
+
+from repro.analysis.slices import (
+    LocalRemotePartition,
+    is_lr_slice,
+    is_valid_global_treaty,
+    observationally_equivalent,
+    treaty_states_from_predicate,
+)
+from repro.lang.interp import EvalResult
+from repro.lang.parser import parse_transaction
+
+T3_SRC = """
+transaction T3() {
+  xh := read(x);
+  if xh > 0 then { write(y = 1) } else { write(y = -1) }
+}
+"""
+
+T4_SRC = """
+transaction T4() {
+  xh := read(x);
+  yh := read(y);
+  if yh = 1 then { write(z = (xh > 10)) } else { write(z = (xh > 100)) }
+}
+"""
+
+
+class TestObservationalEquivalence:
+    def test_equal_local_and_log(self):
+        p = LocalRemotePartition.of(["y"])
+        a = EvalResult(db={"y": 1, "x": 5}, log=(1,))
+        b = EvalResult(db={"y": 1, "x": 99}, log=(1,))
+        assert observationally_equivalent(a, b, p)  # x is remote; ignored
+
+    def test_local_difference_detected(self):
+        p = LocalRemotePartition.of(["y"])
+        a = EvalResult(db={"y": 1}, log=())
+        b = EvalResult(db={"y": 2}, log=())
+        assert not observationally_equivalent(a, b, p)
+
+    def test_log_difference_detected(self):
+        p = LocalRemotePartition.of(["y"])
+        a = EvalResult(db={"y": 1}, log=(1,))
+        b = EvalResult(db={"y": 1}, log=(2,))
+        assert not observationally_equivalent(a, b, p)
+
+    def test_zero_default_normalization(self):
+        p = LocalRemotePartition.of(["y"])
+        a = EvalResult(db={}, log=())
+        b = EvalResult(db={"y": 0}, log=())
+        assert observationally_equivalent(a, b, p)
+
+
+class TestT3Slices:
+    def test_positive_remote_region_is_slice(self):
+        """Section 3.2's motivating example: T3 behaves identically as
+        long as x stays positive."""
+        tx = parse_transaction(T3_SRC)
+        assert is_lr_slice(
+            tx,
+            local_names=["y"],
+            remote_names=["x"],
+            local_vectors=[(0,), (1,), (-1,)],
+            remote_vectors=[(1,), (5,), (10,), (100,)],
+        )
+
+    def test_sign_crossing_region_is_not_slice(self):
+        tx = parse_transaction(T3_SRC)
+        assert not is_lr_slice(
+            tx,
+            local_names=["y"],
+            remote_names=["x"],
+            local_vectors=[(0,)],
+            remote_vectors=[(-1,), (1,)],
+        )
+
+
+class TestExample35:
+    """The paper's Example 3.5: LR-slices for T4 (y local, x remote)."""
+
+    def _tx(self):
+        return parse_transaction(T4_SRC)
+
+    def test_slice_one(self):
+        assert is_lr_slice(
+            self._tx(), ["y", "z"], ["x"],
+            [(1, z) for z in (0, 1)], [(11,), (12,), (13,)],
+        )
+
+    def test_slice_two(self):
+        assert is_lr_slice(
+            self._tx(), ["y", "z"], ["x"],
+            [(1, z) for z in (0, 1)], [(11,), (12,), (13,), (14,)],
+        )
+
+    def test_slice_three(self):
+        assert is_lr_slice(
+            self._tx(), ["y", "z"], ["x"],
+            [(y, z) for y in (2, 3, 4) for z in (0, 1)],
+            [(0,), (1,), (2,), (3,)],
+        )
+
+    def test_crossing_ten_is_not_slice_when_y_is_1(self):
+        assert not is_lr_slice(
+            self._tx(), ["y", "z"], ["x"],
+            [(1, 0)], [(10,), (11,)],
+        )
+
+    def test_crossing_hundred_ok_when_y_is_1(self):
+        """When y = 1 only the 10-boundary matters."""
+        assert is_lr_slice(
+            self._tx(), ["y", "z"], ["x"],
+            [(1, 0)], [(99,), (100,), (101,), (150,)],
+        )
+
+
+class TestValidGlobalTreaty:
+    def test_product_form_treaty_is_valid(self):
+        """A treaty defined by independent local predicates satisfies
+        Definition 3.7 (the essence of Lemma 4.2)."""
+        t3 = parse_transaction(T3_SRC)
+        states = treaty_states_from_predicate(
+            ["x", "y"],
+            {"x": range(1, 6), "y": range(-1, 2)},
+            lambda db: db["x"] >= 1,  # local-only condition on x's site
+        )
+        assert is_valid_global_treaty([(t3, ["y"])], states)
+
+    def test_entangled_treaty_is_invalid(self):
+        """A non-product treaty like x = y fails: Definition 3.7 takes
+        independent projections of L and R, and recombinations leave
+        the intended set."""
+        tx = parse_transaction(
+            """
+            transaction E() {
+              xh := read(x);
+              if xh > 0 then { write(y = 1) } else { write(y = -1) }
+            }
+            """
+        )
+        states = [{"x": -1, "y": -1}, {"x": 1, "y": 1}]  # "x = y" treaty
+        assert not is_valid_global_treaty([(tx, ["y"])], states)

@@ -1,0 +1,104 @@
+"""Tests for the L interpreter (Definition 2.1 semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.interp import EvalResult, InterpError, evaluate
+from repro.lang.parser import parse_transaction
+
+T1_SRC = """
+transaction T1() {
+  xh := read(x);
+  yh := read(y);
+  if xh + yh < 10 then { write(x = xh + 1) } else { write(x = xh - 1) }
+}
+"""
+
+
+class TestBasics:
+    def test_t1_then_branch(self):
+        tx = parse_transaction(T1_SRC)
+        out = evaluate(tx, {"x": 3, "y": 4})
+        assert out.db["x"] == 4
+
+    def test_t1_else_branch(self):
+        tx = parse_transaction(T1_SRC)
+        out = evaluate(tx, {"x": 6, "y": 8})
+        assert out.db["x"] == 5
+
+    def test_input_not_mutated(self):
+        tx = parse_transaction(T1_SRC)
+        db = {"x": 3, "y": 4}
+        evaluate(tx, db)
+        assert db == {"x": 3, "y": 4}
+
+    def test_missing_objects_default_to_zero(self):
+        tx = parse_transaction("t := read(nowhere); write(out = t + 1)")
+        out = evaluate(tx, {})
+        assert out.db["out"] == 1
+
+    def test_log_order(self):
+        tx = parse_transaction("print(1); print(2); print(3)")
+        assert evaluate(tx, {}).log == (1, 2, 3)
+
+    def test_parameters(self):
+        tx = parse_transaction("transaction T(p) { write(x = @p * 2) }")
+        assert evaluate(tx, {}, params={"p": 21}).db["x"] == 42
+
+    def test_missing_parameter_raises(self):
+        tx = parse_transaction("transaction T(p) { write(x = @p) }")
+        with pytest.raises(InterpError):
+            evaluate(tx, {})
+
+    def test_unbound_temp_raises(self):
+        tx = parse_transaction("write(x = ghost)")
+        with pytest.raises(InterpError):
+            evaluate(tx, {})
+
+    def test_array_access(self):
+        tx = parse_transaction(
+            "transaction T(i) { q := read(a(@i)); write(a(@i) = q + 1) }"
+        )
+        out = evaluate(tx, {"a[4]": 10}, params={"i": 4})
+        assert out.db["a[4]"] == 11
+
+    def test_computed_array_index(self):
+        tx = parse_transaction("i := 1 + 2; write(a(i) = 9)")
+        assert evaluate(tx, {}).db["a[3]"] == 9
+
+    def test_foreach_requires_bound(self):
+        tx = parse_transaction("foreach i in a { write(a(i) = i) }")
+        with pytest.raises(InterpError):
+            evaluate(tx, {})
+
+    def test_foreach_with_bound(self):
+        tx = parse_transaction("foreach i in a { write(a(i) = i * 10) }")
+        out = evaluate(tx, {}, arrays={"a": (4,)})
+        assert out.db == {"a[0]": 0, "a[1]": 10, "a[2]": 20, "a[3]": 30}
+
+    def test_boolean_write_value(self):
+        tx = parse_transaction("xh := read(x); write(z = (xh > 10))")
+        assert evaluate(tx, {"x": 11}).db["z"] == 1
+        assert evaluate(tx, {"x": 9}).db["z"] == 0
+
+    def test_long_sequence_no_recursion_error(self):
+        body = "; ".join(f"write(x = {i})" for i in range(5000))
+        tx = parse_transaction(body)
+        assert evaluate(tx, {}).db["x"] == 4999
+
+
+class TestDeterminism:
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_t1_deterministic(self, vx, vy):
+        tx = parse_transaction(T1_SRC)
+        a = evaluate(tx, {"x": vx, "y": vy})
+        b = evaluate(tx, {"x": vx, "y": vy})
+        assert a == b
+
+    def test_observational_equality_helper(self):
+        a = EvalResult(db={"x": 1}, log=(1,))
+        b = EvalResult(db={"x": 1}, log=(1,))
+        c = EvalResult(db={"x": 2}, log=(1,))
+        assert a.observationally_equal(b)
+        assert not a.observationally_equal(c)

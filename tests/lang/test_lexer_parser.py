@@ -1,0 +1,183 @@
+"""Tests for the L/L++ lexer and parser."""
+
+import pytest
+
+from repro.lang.ast import (
+    ABin,
+    AConst,
+    AParam,
+    ARead,
+    ATemp,
+    ArrayRef,
+    Assign,
+    BCmp,
+    ForEach,
+    GroundRef,
+    If,
+    Print,
+    Seq,
+    Skip,
+    Write,
+)
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse_program, parse_transaction
+from repro.lang.pretty import pretty_transaction
+
+
+class TestLexer:
+    def test_keywords_and_names(self):
+        tokens = tokenize("if foo then")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [("keyword", "if"), ("name", "foo"), ("keyword", "then")]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a := b <= c >= d != e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == [":=", "<=", ">=", "!="]
+
+    def test_integers(self):
+        tokens = tokenize("123 0 7")
+        assert [t.text for t in tokens if t.kind == "int"] == ["123", "0", "7"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x # a comment\ny // other\nz")
+        names = [t.text for t in tokens if t.kind == "name"]
+        assert names == ["x", "y", "z"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParser:
+    def test_figure3_t1(self):
+        tx = parse_transaction(
+            """
+            transaction T1() {
+              xh := read(x);
+              yh := read(y);
+              if xh + yh < 10 then { write(x = xh + 1) }
+              else { write(x = xh - 1) }
+            }
+            """
+        )
+        assert tx.name == "T1"
+        assert isinstance(tx.body, Seq)
+        first = tx.body.first
+        assert first == Assign("xh", ARead(GroundRef("x")))
+
+    def test_bare_body(self):
+        tx = parse_transaction("write(x = 1)")
+        assert tx.body == Write(GroundRef("x"), AConst(1))
+
+    def test_param_recognition(self):
+        tx = parse_transaction(
+            "transaction T(p) { q := p + 1; write(x = @p) }"
+        )
+        assign = tx.body.first
+        assert assign == Assign("q", ABin("+", AParam("p"), AConst(1)))
+        write = tx.body.second
+        assert write == Write(GroundRef("x"), AParam("p"))
+
+    def test_array_access(self):
+        tx = parse_transaction(
+            "transaction T(i) { q := read(a(@i)); write(a(@i, 2) = q) }"
+        )
+        assign = tx.body.first
+        assert assign.expr == ARead(ArrayRef("a", (AParam("i"),)))
+        write = tx.body.second
+        assert write.ref == ArrayRef("a", (AParam("i"), AConst(2)))
+
+    def test_boolean_write_desugars(self):
+        # Figure 8b: write(z = (x > 10)) becomes a conditional.
+        tx = parse_transaction("transaction T4() { xh := read(x); write(z = (xh > 10)) }")
+        node = tx.body.second
+        assert isinstance(node, If)
+        assert node.then_branch == Write(GroundRef("z"), AConst(1))
+        assert node.else_branch == Write(GroundRef("z"), AConst(0))
+
+    def test_foreach(self):
+        prog = parse_program(
+            """
+            array a[8]
+            transaction T() { foreach i in a { write(a(i) = 0) } }
+            """
+        )
+        assert prog.arrays == {"a": (8,)}
+        body = prog.transactions["T"].body
+        assert isinstance(body, ForEach)
+
+    def test_print_statement(self):
+        tx = parse_transaction("print(3 + 4)")
+        assert tx.body == Print(ABin("+", AConst(3), AConst(4)))
+
+    def test_skip(self):
+        tx = parse_transaction("skip")
+        assert tx.body == Skip()
+
+    def test_operator_precedence(self):
+        tx = parse_transaction("t := 1 + 2 * 3")
+        expr = tx.body.expr
+        assert expr == ABin("+", AConst(1), ABin("*", AConst(2), AConst(3)))
+
+    def test_comparison_in_condition(self):
+        tx = parse_transaction("if 1 + 2 <= 4 then { skip } else { skip }")
+        assert isinstance(tx.body.cond, BCmp)
+
+    def test_and_or_not(self):
+        tx = parse_transaction(
+            "if not (x < 1) and (y < 2 or z < 3) then { skip } else { skip }",
+        )
+        assert isinstance(tx.body, If)
+
+    def test_distinct_clause(self):
+        tx = parse_transaction(
+            "transaction T(a, b) distinct(a, b) { write(q(@a) = 1); write(q(@b) = 2) }"
+        )
+        assert tx.assume_distinct == (("a", "b"),)
+
+    def test_distinct_unknown_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transaction("transaction T(a) distinct(a, b) { skip }")
+
+    def test_missing_else_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transaction("if x < 1 then { skip }")
+
+    def test_arith_where_bool_expected(self):
+        with pytest.raises(ParseError):
+            parse_transaction("if x + 1 then { skip } else { skip }")
+
+    def test_bool_where_arith_expected(self):
+        with pytest.raises(ParseError):
+            parse_transaction("t := (x < 1) + 2")
+
+    def test_duplicate_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program(
+                "transaction T() { skip } transaction T() { skip }"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "transaction T1() { xh := read(x); if xh < 10 then { write(x = xh + 1) } else { write(x = xh - 1) } }",
+            "transaction T(p) { q := read(a(@p)); write(a(@p) = q - 1) }",
+            "transaction T() { print(read(x)); print(read(y) * 2) }",
+            "transaction T(a, b) distinct(a, b) { write(q(@a) = read(q(@b))) }",
+        ],
+    )
+    def test_pretty_parse_roundtrip(self, source):
+        tx = parse_transaction(source)
+        again = parse_transaction(pretty_transaction(tx))
+        assert again == tx

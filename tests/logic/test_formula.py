@@ -1,0 +1,151 @@
+"""Unit and property tests for the formula layer (repro.logic.formula)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.formula import (
+    And,
+    BoolConst,
+    Cmp,
+    FalseF,
+    Not,
+    Or,
+    TrueF,
+    conj,
+    conjuncts,
+    disj,
+)
+from repro.logic.terms import Const, ObjT, ParamT
+
+
+def getobj_from(db):
+    return lambda name: db.get(name, 0)
+
+
+x = ObjT("x")
+y = ObjT("y")
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 2, False),
+            ("<=", 2, 2, True),
+            ("=", 3, 3, True),
+            ("=", 3, 4, False),
+            ("!=", 3, 4, True),
+            (">", 5, 4, True),
+            (">=", 4, 4, True),
+        ],
+    )
+    def test_semantics(self, op, l, r, expected):
+        assert Cmp(op, Const(l), Const(r)).evaluate(getobj_from({})) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("<>", Const(0), Const(0))
+
+    def test_negated_is_complement(self):
+        atom = Cmp("<", x, Const(10))
+        for vx in range(5, 15):
+            lookup = getobj_from({"x": vx})
+            assert atom.negated().evaluate(lookup) is not atom.evaluate(lookup)
+
+    def test_params_in_comparison(self):
+        atom = Cmp("<=", ParamT("p"), x)
+        assert atom.evaluate(getobj_from({"x": 4}), params={"p": 4}) is True
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        f = And((Cmp("<", x, Const(5)), Not(Cmp("=", y, Const(0)))))
+        assert f.evaluate(getobj_from({"x": 1, "y": 2})) is True
+        assert f.evaluate(getobj_from({"x": 1, "y": 0})) is False
+
+    def test_empty_and_is_true(self):
+        assert And(()).evaluate(getobj_from({})) is True
+
+    def test_empty_or_is_false(self):
+        assert Or(()).evaluate(getobj_from({})) is False
+
+    def test_conj_short_circuits_false(self):
+        assert conj([TrueF, FalseF, Cmp("<", x, y)]) == FalseF
+
+    def test_conj_drops_true(self):
+        out = conj([TrueF, Cmp("<", x, y)])
+        assert out == Cmp("<", x, y)
+
+    def test_conj_flattens(self):
+        inner = conj([Cmp("<", x, y), Cmp("<", y, Const(3))])
+        out = conj([inner, Cmp("=", x, Const(0))])
+        assert isinstance(out, And)
+        assert len(out.operands) == 3
+
+    def test_disj_short_circuits_true(self):
+        assert disj([FalseF, TrueF]) == TrueF
+
+    def test_conjuncts_roundtrip(self):
+        parts = [Cmp("<", x, y), Cmp("=", y, Const(1))]
+        assert conjuncts(conj(parts)) == parts
+
+    def test_conjuncts_of_true_is_empty(self):
+        assert conjuncts(TrueF) == []
+
+
+class TestSubstitution:
+    def test_substitution_distributes(self):
+        f = And((Cmp("<", x, y), Or((Cmp("=", x, Const(0)), Not(Cmp(">", y, x))))))
+        out = f.substitute({ObjT("x"): Const(3)})
+        assert out.evaluate(getobj_from({"y": 5})) == f.evaluate(
+            getobj_from({"x": 3, "y": 5})
+        )
+
+    def test_free_variable_queries(self):
+        f = And((Cmp("<", x, ParamT("p")), Cmp("=", y, Const(1))))
+        assert {o.name for o in f.objects()} == {"x", "y"}
+        assert {p.name for p in f.params()} == {"p"}
+
+
+# -- NNF property -------------------------------------------------------------
+
+_atoms = st.builds(
+    Cmp,
+    st.sampled_from(["<", "<=", "=", "!=", ">", ">="]),
+    st.sampled_from([x, y, Const(0), Const(7)]),
+    st.sampled_from([x, y, Const(3), Const(10)]),
+)
+
+_formulas = st.recursive(
+    st.one_of(_atoms, st.sampled_from([TrueF, FalseF])),
+    lambda inner: st.one_of(
+        st.lists(inner, min_size=1, max_size=3).map(lambda fs: And(tuple(fs))),
+        st.lists(inner, min_size=1, max_size=3).map(lambda fs: Or(tuple(fs))),
+        inner.map(Not),
+    ),
+    max_leaves=10,
+)
+
+
+@given(_formulas, st.integers(-5, 15), st.integers(-5, 15))
+def test_nnf_preserves_semantics(formula, vx, vy):
+    lookup = getobj_from({"x": vx, "y": vy})
+    assert formula.to_nnf().evaluate(lookup) == formula.evaluate(lookup)
+
+
+@given(_formulas, st.integers(-5, 15), st.integers(-5, 15))
+def test_nnf_negation_flips_semantics(formula, vx, vy):
+    lookup = getobj_from({"x": vx, "y": vy})
+    assert formula.to_nnf(negate=True).evaluate(lookup) == (
+        not formula.evaluate(lookup)
+    )
+
+
+@given(_formulas)
+def test_nnf_has_no_compound_negations(formula):
+    nnf = formula.to_nnf()
+    for node in nnf.walk():
+        if isinstance(node, Not):
+            assert isinstance(node.operand, Cmp)

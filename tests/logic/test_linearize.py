@@ -1,0 +1,82 @@
+"""Tests for the Appendix C.1 preprocessing (repro.logic.linearize)."""
+
+import pytest
+
+from repro.logic.formula import Cmp, Not, Or, conj
+from repro.logic.linearize import linearize_for_treaty
+from repro.logic.terms import Add, Const, Mul, ObjT, ParamT
+
+x = ObjT("x")
+y = ObjT("y")
+
+
+def getobj_from(db):
+    return lambda name: db.get(name, 0)
+
+
+class TestLinearCases:
+    def test_plain_conjunction(self):
+        f = conj([Cmp(">=", Add(x, y), Const(20)), Cmp("<", x, Const(100))])
+        out = linearize_for_treaty(f, getobj_from({"x": 10, "y": 13}))
+        assert len(out.constraints) == 2
+        assert not out.pinned
+
+    def test_result_holds_on_database(self):
+        f = Cmp(">=", Add(x, y), Const(20))
+        out = linearize_for_treaty(f, getobj_from({"x": 10, "y": 13}))
+        assert out.holds_on(getobj_from({"x": 10, "y": 13}))
+        assert not out.holds_on(getobj_from({"x": 1, "y": 1}))
+
+    def test_formula_must_hold_on_d(self):
+        f = Cmp(">=", Add(x, y), Const(20))
+        with pytest.raises(ValueError):
+            linearize_for_treaty(f, getobj_from({"x": 1, "y": 1}))
+
+    def test_negated_atom_via_nnf(self):
+        f = Not(Cmp("<", x, Const(5)))  # i.e. x >= 5
+        out = linearize_for_treaty(f, getobj_from({"x": 7}))
+        assert len(out.constraints) == 1
+        assert not out.pinned
+
+    def test_parameter_instantiation(self):
+        f = Cmp(">", x, ParamT("p"))
+        out = linearize_for_treaty(f, getobj_from({"x": 10}), params={"p": 3})
+        assert out.holds_on(getobj_from({"x": 10}))
+
+
+class TestPinningCases:
+    def test_disequality_pins(self):
+        f = Cmp("!=", x, Const(5))
+        out = linearize_for_treaty(f, getobj_from({"x": 7}))
+        assert {o.name for o in out.pinned} == {"x"}
+        # pinned means x = 7 is enforced
+        assert out.holds_on(getobj_from({"x": 7}))
+        assert not out.holds_on(getobj_from({"x": 8}))
+
+    def test_disjunction_pins_all_variables(self):
+        f = Or((Cmp("<", x, Const(0)), Cmp(">", y, Const(5))))
+        out = linearize_for_treaty(f, getobj_from({"x": 3, "y": 9}))
+        assert {o.name for o in out.pinned} == {"x", "y"}
+
+    def test_nonlinear_atom_pins(self):
+        f = Cmp("<", Mul(x, y), Const(100))
+        out = linearize_for_treaty(f, getobj_from({"x": 3, "y": 4}))
+        assert {o.name for o in out.pinned} == {"x", "y"}
+
+    def test_pinned_result_is_stronger(self):
+        """Appendix C.1: the preprocessed formula implies the original."""
+        f = Or((Cmp("<", x, Const(0)), Cmp(">", y, Const(5))))
+        db = {"x": 3, "y": 9}
+        out = linearize_for_treaty(f, getobj_from(db))
+        # Any database satisfying the pins satisfies the original formula.
+        for vx in range(-2, 6):
+            for vy in range(0, 12):
+                candidate = {"x": vx, "y": vy}
+                if out.holds_on(getobj_from(candidate)):
+                    assert f.evaluate(getobj_from(candidate))
+
+    def test_mixed_linear_and_pinned(self):
+        f = conj([Cmp("<=", x, Const(50)), Cmp("!=", y, Const(0))])
+        out = linearize_for_treaty(f, getobj_from({"x": 10, "y": 3}))
+        assert {o.name for o in out.pinned} == {"y"}
+        assert len(out.constraints) == 2

@@ -1,0 +1,100 @@
+"""Tests for formula simplification (repro.logic.simplify)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.formula import And, Cmp, FalseF, Not, Or, TrueF, conj
+from repro.logic.simplify import simplify_formula
+from repro.logic.terms import Add, Const, ObjT
+
+x = ObjT("x")
+y = ObjT("y")
+
+
+def getobj_from(db):
+    return lambda name: db.get(name, 0)
+
+
+class TestConstantAtoms:
+    def test_true_atom_drops(self):
+        f = conj([Cmp("<", Const(1), Const(2)), Cmp("<", x, y)])
+        assert simplify_formula(f) == Cmp("<", x, y)
+
+    def test_false_atom_collapses(self):
+        f = conj([Cmp(">", Const(1), Const(2)), Cmp("<", x, y)])
+        assert simplify_formula(f) == FalseF
+
+    def test_folding_inside_atoms(self):
+        f = Cmp("<", Add(Const(2), Const(3)), Const(10))
+        assert simplify_formula(f) == TrueF
+
+
+class TestContradictions:
+    def test_opposite_bounds(self):
+        # x < 10 and x >= 10 is unsatisfiable.
+        f = conj([Cmp("<", x, Const(10)), Cmp(">=", x, Const(10))])
+        assert simplify_formula(f) == FalseF
+
+    def test_equality_vs_upper_bound(self):
+        f = conj([Cmp("=", x, Const(5)), Cmp("<", x, Const(5))])
+        assert simplify_formula(f) == FalseF
+
+    def test_equality_vs_lower_bound(self):
+        f = conj([Cmp("=", x, Const(5)), Cmp(">", x, Const(5))])
+        assert simplify_formula(f) == FalseF
+
+    def test_conflicting_equalities(self):
+        f = conj([Cmp("=", x, Const(5)), Cmp("=", x, Const(6))])
+        assert simplify_formula(f) == FalseF
+
+    def test_compatible_interval_survives(self):
+        f = conj([Cmp(">=", x, Const(3)), Cmp("<=", x, Const(7))])
+        assert simplify_formula(f) != FalseF
+
+    def test_multivariable_contradiction(self):
+        f = conj([Cmp("<", Add(x, y), Const(10)), Cmp(">=", Add(x, y), Const(20))])
+        assert simplify_formula(f) == FalseF
+
+
+class TestSubsumption:
+    def test_looser_bound_dropped(self):
+        # Figure 4c: x + y >= 10 and x + y >= 20 simplifies to >= 20.
+        f = conj([Cmp(">=", Add(x, y), Const(10)), Cmp(">=", Add(x, y), Const(20))])
+        out = simplify_formula(f)
+        assert out == Cmp(">=", Add(x, y), Const(20))
+
+    def test_duplicate_atom_dropped(self):
+        f = And((Cmp("<", x, Const(5)), Cmp("<", x, Const(5))))
+        out = simplify_formula(f)
+        assert out == Cmp("<", x, Const(5))
+
+    def test_equality_subsumes_inequality(self):
+        f = conj([Cmp("=", x, Const(3)), Cmp("<=", x, Const(7))])
+        out = simplify_formula(f)
+        assert out == Cmp("=", x, Const(3))
+
+
+# -- property: simplification is semantics-preserving --------------------------
+
+_atoms = st.builds(
+    Cmp,
+    st.sampled_from(["<", "<=", "=", "!=", ">", ">="]),
+    st.sampled_from([x, y, Add(x, y), Const(5)]),
+    st.sampled_from([x, y, Const(0), Const(10), Const(20)]),
+)
+
+_formulas = st.recursive(
+    _atoms,
+    lambda inner: st.one_of(
+        st.lists(inner, min_size=1, max_size=4).map(lambda fs: And(tuple(fs))),
+        st.lists(inner, min_size=1, max_size=3).map(lambda fs: Or(tuple(fs))),
+        inner.map(Not),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_formulas, st.integers(-5, 25), st.integers(-5, 25))
+def test_simplify_preserves_semantics(formula, vx, vy):
+    lookup = getobj_from({"x": vx, "y": vy})
+    assert simplify_formula(formula).evaluate(lookup) == formula.evaluate(lookup)

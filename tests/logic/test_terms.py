@@ -1,0 +1,173 @@
+"""Unit tests for the term layer (repro.logic.terms)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.terms import (
+    Add,
+    Const,
+    IndexedObjT,
+    Mul,
+    Neg,
+    ObjT,
+    ParamT,
+    TempT,
+    fold_constants,
+    ground_name,
+    parse_ground_name,
+)
+
+
+def getobj_from(db):
+    return lambda name: db.get(name, 0)
+
+
+class TestGroundNames:
+    def test_roundtrip_single_index(self):
+        name = ground_name("qty", (7,))
+        assert name == "qty[7]"
+        assert parse_ground_name(name) == ("qty", (7,))
+
+    def test_roundtrip_multi_index(self):
+        name = ground_name("stock", (3, 14))
+        assert name == "stock[3,14]"
+        assert parse_ground_name(name) == ("stock", (3, 14))
+
+    def test_scalar_names_do_not_parse(self):
+        assert parse_ground_name("x") is None
+        assert parse_ground_name("balance") is None
+
+    def test_malformed_brackets(self):
+        assert parse_ground_name("a[b]") is None
+        assert parse_ground_name("[3]") is None
+
+    def test_negative_indices_roundtrip(self):
+        name = ground_name("a", (-2,))
+        assert parse_ground_name(name) == ("a", (-2,))
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(42).evaluate(getobj_from({})) == 42
+
+    def test_obj_reads_database(self):
+        assert ObjT("x").evaluate(getobj_from({"x": 9})) == 9
+
+    def test_obj_defaults_to_zero(self):
+        assert ObjT("missing").evaluate(getobj_from({})) == 0
+
+    def test_param_lookup(self):
+        assert ParamT("p").evaluate(getobj_from({}), params={"p": 5}) == 5
+
+    def test_param_unbound_raises(self):
+        with pytest.raises(KeyError):
+            ParamT("p").evaluate(getobj_from({}))
+
+    def test_temp_lookup(self):
+        assert TempT("t").evaluate(getobj_from({}), temps={"t": -3}) == -3
+
+    def test_temp_unbound_raises(self):
+        with pytest.raises(KeyError):
+            TempT("t").evaluate(getobj_from({}))
+
+    def test_arithmetic(self):
+        term = Add(Mul(Const(3), ObjT("x")), Neg(Const(4)))
+        assert term.evaluate(getobj_from({"x": 5})) == 11
+
+    def test_indexed_resolution(self):
+        term = IndexedObjT("a", (Add(ParamT("i"), Const(1)),))
+        db = {"a[3]": 77}
+        assert term.evaluate(getobj_from(db), params={"i": 2}) == 77
+
+    def test_operator_sugar(self):
+        term = (ObjT("x") + 2) * 3 - ObjT("y")
+        assert term.evaluate(getobj_from({"x": 1, "y": 4})) == 5
+
+
+class TestSubstitution:
+    def test_obj_substitution(self):
+        term = Add(ObjT("x"), ObjT("y"))
+        out = term.substitute({ObjT("x"): Const(7)})
+        assert out.evaluate(getobj_from({"y": 1})) == 8
+
+    def test_temp_substitution(self):
+        term = Mul(TempT("t"), Const(2))
+        out = term.substitute({TempT("t"): ObjT("x")})
+        assert out == Mul(ObjT("x"), Const(2))
+
+    def test_indexed_ground_key_matches(self):
+        # Substituting the ground ObjT form must also hit an
+        # IndexedObjT whose index folds to the same slot.
+        term = IndexedObjT("a", (Const(2),))
+        out = term.substitute({ObjT("a[2]"): Const(5)})
+        assert out == Const(5)
+
+    def test_index_substitution_cascades(self):
+        term = IndexedObjT("a", (TempT("i"),))
+        out = term.substitute({TempT("i"): Const(3), ObjT("a[3]"): Const(9)})
+        assert out == Const(9)
+
+    def test_substitute_missing_is_identity(self):
+        term = Add(ObjT("x"), Const(1))
+        assert term.substitute({ObjT("z"): Const(0)}) == term
+
+
+class TestFoldConstants:
+    def test_addition_folds(self):
+        assert fold_constants(Add(Const(2), Const(3))) == Const(5)
+
+    def test_multiplication_folds(self):
+        assert fold_constants(Mul(Const(4), Const(-2))) == Const(-8)
+
+    def test_zero_identity(self):
+        assert fold_constants(Add(ObjT("x"), Const(0))) == ObjT("x")
+        assert fold_constants(Add(Const(0), ObjT("x"))) == ObjT("x")
+
+    def test_one_identity(self):
+        assert fold_constants(Mul(Const(1), ObjT("x"))) == ObjT("x")
+        assert fold_constants(Mul(ObjT("x"), Const(1))) == ObjT("x")
+
+    def test_zero_absorbs(self):
+        assert fold_constants(Mul(ObjT("x"), Const(0))) == Const(0)
+
+    def test_double_negation(self):
+        assert fold_constants(Neg(Neg(ObjT("x")))) == ObjT("x")
+
+    def test_indexed_grounds_constant_index(self):
+        term = IndexedObjT("a", (Add(Const(1), Const(2)),))
+        assert fold_constants(term) == ObjT("a[3]")
+
+
+# -- property tests -----------------------------------------------------------
+
+_leaf = st.one_of(
+    st.integers(-50, 50).map(Const),
+    st.sampled_from(["x", "y", "z"]).map(ObjT),
+)
+
+
+def _terms(depth=3):
+    return st.recursive(
+        _leaf,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda ab: Add(*ab)),
+            st.tuples(inner, inner).map(lambda ab: Mul(*ab)),
+            inner.map(Neg),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(_terms(), st.dictionaries(st.sampled_from(["x", "y", "z"]), st.integers(-20, 20)))
+def test_fold_constants_preserves_semantics(term, db):
+    lookup = getobj_from(db)
+    assert fold_constants(term).evaluate(lookup) == term.evaluate(lookup)
+
+
+@given(_terms(), st.integers(-10, 10), st.dictionaries(st.sampled_from(["y", "z"]), st.integers(-20, 20)))
+def test_substitution_matches_environment_change(term, value, db):
+    """term{v/x} evaluated == term evaluated with x := v."""
+    lookup_with_x = getobj_from({**db, "x": value})
+    substituted = term.substitute({ObjT("x"): Const(value)})
+    assert substituted.evaluate(getobj_from(db)) == term.evaluate(lookup_with_x)

@@ -1,0 +1,135 @@
+"""Tests for site servers and the stored-procedure catalog (Section 5.1)."""
+
+import pytest
+
+from repro.analysis.symbolic import build_symbolic_table
+from repro.lang.parser import parse_transaction
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.logic.terms import ObjT
+from repro.protocol.catalog import CatalogError, StoredProcedureCatalog
+from repro.protocol.messages import MessageStats
+from repro.protocol.site import SiteServer
+from repro.treaty.table import LocalTreaty
+
+INCR_SRC = """
+transaction Incr() {
+  v := read(x);
+  if v < 10 then { write(x = v + 1) } else { write(x = 0) }
+}
+"""
+
+
+def _catalog():
+    catalog = StoredProcedureCatalog()
+    catalog.register(build_symbolic_table(parse_transaction(INCR_SRC)))
+    return catalog
+
+
+class TestCatalog:
+    def test_one_procedure_per_row(self):
+        catalog = _catalog()
+        assert len(catalog.procedures["Incr"]) == 2
+
+    def test_dispatch_selects_matching_row(self):
+        catalog = _catalog()
+        proc = catalog.dispatch("Incr", lambda n: {"x": 3}.get(n, 0))
+        assert "v + 1" in proc.row.residual.pretty() or "+ 1" in proc.row.residual.pretty()
+        proc = catalog.dispatch("Incr", lambda n: {"x": 12}.get(n, 0))
+        assert "= 0" in proc.row.residual.pretty()
+
+    def test_duplicate_registration_rejected(self):
+        catalog = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.register(build_symbolic_table(parse_transaction(INCR_SRC)))
+
+    def test_unknown_transaction(self):
+        catalog = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.dispatch("Nope", lambda n: 0)
+
+    def test_full_transaction_retrievable(self):
+        catalog = _catalog()
+        assert catalog.full_transaction("Incr").name == "Incr"
+
+
+def _local_treaty(site, upper):
+    """x <= upper as a local treaty at `site`."""
+    return LocalTreaty(
+        site=site,
+        constraints=[
+            LinearConstraint.make(LinearExpr.variable(ObjT("x")), "<=", upper)
+        ],
+    )
+
+
+class TestSiteServer:
+    def _server(self, treaty_upper=None):
+        server = SiteServer(site_id=0, locate=lambda name: 0)
+        server.catalog.register(build_symbolic_table(parse_transaction(INCR_SRC)))
+        if treaty_upper is not None:
+            server.install_treaty(_local_treaty(0, treaty_upper))
+        return server
+
+    def test_commit_within_treaty(self):
+        server = self._server(treaty_upper=5)
+        result = server.execute("Incr")
+        assert result.committed and not result.violated
+        assert server.engine.peek("x") == 1
+
+    def test_violation_aborts_and_reports(self):
+        server = self._server(treaty_upper=2)
+        server.engine.poke("x", 2)
+        result = server.execute("Incr")  # would write x = 3 > 2
+        assert result.violated and not result.committed
+        assert server.engine.peek("x") == 2  # rolled back
+
+    def test_no_treaty_always_commits(self):
+        server = self._server()
+        for _ in range(11):
+            server.execute("Incr")
+        # 0 -> 10 in ten increments, then the reset branch fires.
+        assert server.engine.peek("x") == 0
+
+    def test_foreign_write_assertion(self):
+        server = SiteServer(site_id=0, locate=lambda name: 1)  # nothing local
+        server.catalog.register(build_symbolic_table(parse_transaction(INCR_SRC)))
+        with pytest.raises(AssertionError):
+            server.execute("Incr")
+
+    def test_dirty_owned_values_and_sync(self):
+        server = self._server(treaty_upper=100)
+        server.execute("Incr")
+        dirty = server.dirty_owned_values()
+        assert dirty == {"x": 1}
+        server.apply_sync({"x": 42, "remote": 7})
+        assert server.engine.peek("x") == 42
+        assert server.engine.peek("remote") == 7
+        assert server.dirty_owned_values() == {}
+
+    def test_cleanup_run_returns_log_and_writes(self):
+        server = self._server()
+        log, written = server.run_cleanup_transaction("Incr")
+        assert written == {"x"}
+        assert log == ()
+
+
+class TestMessageStats:
+    def test_sync_round_counts(self):
+        stats = MessageStats()
+        stats.record_sync_round(4)
+        assert stats.sync_broadcasts == 12
+        assert stats.negotiations == 1
+
+    def test_treaty_round_free_when_deterministic(self):
+        stats = MessageStats()
+        stats.record_treaty_round(4, deterministic_solver=True)
+        assert stats.treaty_updates == 0
+        stats.record_treaty_round(4, deterministic_solver=False)
+        assert stats.treaty_updates == 3
+
+    def test_2pc_rounds(self):
+        stats = MessageStats()
+        stats.record_2pc(3)
+        assert stats.prepare_messages == 2
+        assert stats.decision_messages == 2
+        assert stats.total() == 4

@@ -1,0 +1,126 @@
+"""Tests for simulation metrics and the network model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import LatencyStats, SimResult, TxnRecord, percentile
+from repro.sim.network import (
+    DATACENTERS,
+    TABLE1_RTT_MS,
+    max_rtt,
+    rtt_matrix_for,
+    uniform_rtt_matrix,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_monotone_in_pct(self, values):
+        points = [percentile(values, p) for p in (0, 25, 50, 75, 100)]
+        assert points == sorted(points)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounded_by_extremes(self, values):
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        for p in (10, 50, 90):
+            v = percentile(values, p)
+            # Linear interpolation may round off by a few ulps.
+            assert lo - 1e-9 * span <= v <= hi + 1e-9 * span
+
+
+class TestNetwork:
+    def test_table1_symmetric(self):
+        for a in DATACENTERS:
+            for b in DATACENTERS:
+                assert TABLE1_RTT_MS[(a, b)] == TABLE1_RTT_MS[(b, a)]
+
+    def test_paper_values(self):
+        assert TABLE1_RTT_MS[("UE", "UW")] == 64.0
+        assert TABLE1_RTT_MS[("UE", "SG")] == 243.0
+        assert TABLE1_RTT_MS[("IE", "SG")] == 285.0
+        assert TABLE1_RTT_MS[("SG", "BR")] == 372.0
+
+    def test_submatrix_growth(self):
+        assert max_rtt(rtt_matrix_for(2)) == 64.0
+        assert max_rtt(rtt_matrix_for(3)) == 170.0
+        assert max_rtt(rtt_matrix_for(4)) == 285.0
+        assert max_rtt(rtt_matrix_for(5)) == 372.0
+
+    def test_uniform_matrix(self):
+        m = uniform_rtt_matrix(3, 100.0)
+        assert m[0][1] == 100.0 and m[1][1] == 0.5
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            rtt_matrix_for(6)
+
+
+def _record(start, end, kind, family="", **kw):
+    return TxnRecord(start_ms=start, end_ms=end, kind=kind, replica=0,
+                     family=family, **kw)
+
+
+class TestSimResult:
+    def _result(self):
+        res = SimResult(mode="homeo", measured_from_ms=10.0, num_replicas=2)
+        res.records = [
+            _record(5.0, 6.0, "local"),          # before warmup: excluded
+            _record(20.0, 22.0, "local", family="NewOrder"),
+            _record(30.0, 32.0, "local", family="Payment"),
+            _record(40.0, 240.0, "sync", family="NewOrder",
+                    comm_ms=195.0, solver_ms=5.0, local_ms=2.0),
+            _record(50.0, 51.0, "failed"),
+        ]
+        res.measured_to_ms = 1010.0
+        return res
+
+    def test_warmup_excluded(self):
+        res = self._result()
+        assert len(res.latencies()) == 3
+
+    def test_family_filter(self):
+        res = self._result()
+        assert len(res.latencies("NewOrder")) == 2
+
+    def test_throughput(self):
+        res = self._result()
+        # 3 measured commits over 1.0 s across 2 replicas.
+        assert res.throughput_per_replica() == pytest.approx(1.5)
+        assert res.total_throughput() == pytest.approx(3.0)
+
+    def test_sync_ratio(self):
+        res = self._result()
+        assert res.sync_ratio == pytest.approx(1 / 3)
+
+    def test_breakdown(self):
+        res = self._result()
+        b = res.breakdown_means()
+        assert b["comm"] == 195.0 and b["solver"] == 5.0
+
+    def test_cdf(self):
+        res = self._result()
+        cdf = dict(res.latency_cdf([5.0, 300.0]))
+        assert cdf[5.0] == pytest.approx(2 / 3)
+        assert cdf[300.0] == 1.0
+
+    def test_stats_shape(self):
+        stats = LatencyStats.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.p100
+        assert stats.count == 5

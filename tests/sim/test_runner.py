@@ -1,0 +1,117 @@
+"""Tests for the discrete-event runner's timing model."""
+
+import pytest
+
+from repro.sim.experiments import run_micro, solver_time_model
+from repro.sim.runner import SimConfig, SimRequest, simulate
+
+
+class _StubCluster:
+    """Deterministic decision source: sync every Nth submission."""
+
+    def __init__(self, sync_every=0):
+        self.sync_every = sync_every
+        self.count = 0
+
+    def submit(self, tx_name, params):
+        self.count += 1
+        synced = self.sync_every and self.count % self.sync_every == 0
+
+        class Outcome:
+            pass
+
+        out = Outcome()
+        out.synced = bool(synced)
+        return out
+
+
+def _request_fn(rng, replica):
+    return SimRequest("T", {}, (rng.randrange(50),), family="T")
+
+
+def _config(mode, **kw):
+    defaults = dict(
+        mode=mode, num_replicas=2, clients_per_replica=4,
+        rtt_ms=100.0, max_txns=800, seed=1,
+    )
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class TestTimingModel:
+    def test_local_latency_is_service_scale(self):
+        res = simulate(_config("local"), _StubCluster(), _request_fn)
+        assert res.committed == 800
+        assert res.latency_stats().p50 < 10.0
+
+    def test_2pc_latency_floor_is_two_rtt(self):
+        res = simulate(_config("2pc"), _StubCluster(), _request_fn)
+        stats = res.latency_stats()
+        assert stats.p50 >= 200.0
+
+    def test_homeo_without_violations_matches_local(self):
+        res = simulate(_config("homeo"), _StubCluster(sync_every=0), _request_fn)
+        assert res.negotiations == 0
+        assert res.latency_stats().p97 < 25.0
+
+    def test_homeo_violations_pay_two_rtt_plus_solver(self):
+        config = _config("homeo", solver_ms=30.0)
+        res = simulate(config, _StubCluster(sync_every=10), _request_fn)
+        assert res.negotiations > 0
+        synced = [r for r in res.records if r.kind == "sync"]
+        for r in synced:
+            assert r.comm_ms == pytest.approx(200.0)
+            assert r.solver_ms == pytest.approx(30.0)
+            assert r.latency_ms >= 230.0
+
+    def test_opt_has_no_solver_cost(self):
+        config = _config("opt", solver_ms=30.0)
+        res = simulate(config, _StubCluster(sync_every=10), _request_fn)
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced and all(r.solver_ms == 0.0 for r in synced)
+
+    def test_sync_ratio_matches_stub(self):
+        res = simulate(_config("homeo"), _StubCluster(sync_every=5), _request_fn)
+        assert res.sync_ratio == pytest.approx(0.2, abs=0.05)
+
+    def test_2pc_hot_lock_queueing(self):
+        """All clients hammering one item must queue behind the 2-RTT
+        lock hold and eventually hit the timeout."""
+
+        def hot_request(rng, replica):
+            return SimRequest("T", {}, (0,), family="T")
+
+        config = _config("2pc", max_txns=300, clients_per_replica=8)
+        res = simulate(config, _StubCluster(), hot_request)
+        assert res.aborted_attempts > 0
+        assert res.latency_stats().p99 >= 1000.0  # the MySQL-style tail
+
+    def test_determinism(self):
+        a = simulate(_config("homeo"), _StubCluster(sync_every=7), _request_fn)
+        b = simulate(_config("homeo"), _StubCluster(sync_every=7), _request_fn)
+        assert a.latencies() == b.latencies()
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            simulate(_config("bogus"), _StubCluster(), _request_fn)
+
+
+class TestExperimentRunners:
+    def test_solver_time_model_grows_with_lookahead(self):
+        assert solver_time_model(100) > solver_time_model(10)
+
+    def test_run_micro_smoke(self):
+        res = run_micro("homeo", rtt_ms=50.0, max_txns=600, num_items=40)
+        assert res.committed == 600
+        assert res.mode == "homeo"
+        assert res.latency_stats().count > 0
+
+    def test_run_micro_modes_ordering(self):
+        """The headline result at smoke scale: local >= homeo >> 2pc."""
+        local = run_micro("local", max_txns=800, num_items=40)
+        homeo = run_micro("homeo", max_txns=800, num_items=40)
+        two_pc = run_micro("2pc", max_txns=800, num_items=40)
+        t_local = local.throughput_per_replica()
+        t_homeo = homeo.throughput_per_replica()
+        t_2pc = two_pc.throughput_per_replica()
+        assert t_local >= t_homeo > 3 * t_2pc

@@ -1,0 +1,98 @@
+"""Tests for the object store and undo journal."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.kvstore import KVStore
+from repro.storage.wal import UndoLog
+
+
+class TestKVStore:
+    def test_default_zero(self):
+        assert KVStore().get("anything") == 0
+
+    def test_put_get(self):
+        store = KVStore()
+        store.put("x", 7)
+        assert store.get("x") == 7
+
+    def test_delete_resets_default(self):
+        store = KVStore.from_mapping({"x": 3})
+        store.delete("x")
+        assert store.get("x") == 0
+        assert "x" not in store
+
+    def test_snapshot_restore(self):
+        store = KVStore.from_mapping({"x": 1})
+        snap = store.snapshot()
+        store.put("x", 9)
+        store.put("y", 2)
+        store.restore(snap)
+        assert store.get("x") == 1 and store.get("y") == 0
+
+    def test_semantic_equality_ignores_explicit_zeros(self):
+        assert KVStore.from_mapping({"x": 0}) == KVStore()
+        assert KVStore.from_mapping({"x": 1}) == {"x": 1}
+        assert KVStore.from_mapping({"x": 1}) != {"x": 2}
+
+    def test_non_integer_rejected(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            KVStore().put("x", "not an int")  # type: ignore[arg-type]
+
+
+class TestUndoLog:
+    def test_rollback_restores_values(self):
+        store = KVStore.from_mapping({"x": 1, "y": 2})
+        undo = UndoLog()
+        undo.record(store, "x")
+        store.put("x", 100)
+        undo.record(store, "y")
+        store.put("y", 200)
+        undo.rollback(store)
+        assert store == {"x": 1, "y": 2}
+
+    def test_rollback_removes_created_objects(self):
+        store = KVStore()
+        undo = UndoLog()
+        undo.record(store, "fresh")
+        store.put("fresh", 5)
+        undo.rollback(store)
+        assert "fresh" not in store
+
+    def test_only_first_image_kept(self):
+        store = KVStore.from_mapping({"x": 1})
+        undo = UndoLog()
+        undo.record(store, "x")
+        store.put("x", 2)
+        undo.record(store, "x")  # second record must not overwrite
+        store.put("x", 3)
+        undo.rollback(store)
+        assert store.get("x") == 1
+
+    def test_clear_after_rollback(self):
+        store = KVStore.from_mapping({"x": 1})
+        undo = UndoLog()
+        undo.record(store, "x")
+        store.put("x", 5)
+        undo.rollback(store)
+        assert len(undo) == 0
+
+    @given(
+        st.dictionaries(st.sampled_from("abcde"), st.integers(-5, 5)),
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(-9, 9)),
+            max_size=12,
+        ),
+    )
+    def test_rollback_always_restores(self, initial, writes):
+        """PROPERTY: record-before-write + rollback is the identity."""
+        store = KVStore.from_mapping(initial)
+        reference = store.snapshot()
+        undo = UndoLog()
+        for name, value in writes:
+            undo.record(store, name)
+            store.put(name, value)
+        undo.rollback(store)
+        assert store == KVStore.from_mapping(reference)

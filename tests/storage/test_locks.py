@@ -1,0 +1,137 @@
+"""Tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.storage.locks import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    WouldBlock,
+)
+
+
+class TestGrants:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.S)
+        assert lm.acquire(2, "x", LockMode.S)
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.S)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.S)
+        assert not lm.acquire(2, "x", LockMode.X)
+
+    def test_reentrant(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.X)
+        assert lm.acquire(1, "x", LockMode.X)
+        assert lm.acquire(1, "x", LockMode.S)  # weaker re-request fine
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.S)
+        assert lm.acquire(1, "x", LockMode.X)
+        assert lm.holders("x")[1] is LockMode.X
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.S)
+        assert lm.acquire(2, "x", LockMode.S)
+        assert not lm.acquire(1, "x", LockMode.X)
+
+    def test_no_wait_raises(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        with pytest.raises(WouldBlock):
+            lm.acquire(2, "x", LockMode.X, wait=False)
+
+    def test_fifo_s_does_not_jump_queued_x(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.S)
+        assert not lm.acquire(2, "x", LockMode.X)  # queued
+        assert not lm.acquire(3, "x", LockMode.S)  # must not starve txn 2
+
+
+class TestReleaseAndQueues:
+    def test_release_grants_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.X)
+        unblocked = lm.release_all(1)
+        assert unblocked == [2]
+        assert lm.holders("x") == {2: LockMode.X}
+
+    def test_release_grants_multiple_readers(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.S)
+        assert not lm.acquire(3, "x", LockMode.S)
+        unblocked = lm.release_all(1)
+        assert set(unblocked) == {2, 3}
+
+    def test_release_while_waiting_cleans_queue(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.X)
+        lm.release_all(2)  # abort the waiter
+        assert lm.waiting(2) is None
+        unblocked = lm.release_all(1)
+        assert unblocked == []
+
+
+class TestDeadlock:
+    def test_two_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        assert not lm.acquire(1, "b", LockMode.X)  # 1 waits on 2
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire(2, "a", LockMode.X)  # closes the cycle
+        assert set(err.value.cycle) == {1, 2}
+
+    def test_three_cycle_detected(self):
+        lm = LockManager()
+        for txn, obj in ((1, "a"), (2, "b"), (3, "c")):
+            lm.acquire(txn, obj, LockMode.X)
+        assert not lm.acquire(1, "b", LockMode.X)
+        assert not lm.acquire(2, "c", LockMode.X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", LockMode.X)
+
+    def test_victim_can_release_and_unblock(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        assert not lm.acquire(1, "b", LockMode.X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", LockMode.X)
+        # Victim (txn 2) aborts: txn 1 gets b.
+        unblocked = lm.release_all(2)
+        assert 1 in unblocked
+
+
+class TestTimeouts:
+    def test_waiter_expires(self):
+        lm = LockManager(wait_timeout=10)
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.X)
+        expired = lm.tick(10)
+        assert len(expired) == 1 and expired[0].txn == 2
+        assert lm.waiting(2) is None
+
+    def test_not_expired_before_deadline(self):
+        lm = LockManager(wait_timeout=10)
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(2, "x", LockMode.X)
+        assert lm.tick(9) == []
+
+    def test_disabled_by_default(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(2, "x", LockMode.X)
+        assert lm.tick(10_000) == []

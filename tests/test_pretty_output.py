@@ -1,0 +1,90 @@
+"""Smoke tests for the human-facing rendering paths.
+
+The examples and the paper-comparison tables rely on ``pretty()``
+renderings across the stack; these tests pin their basic shape so a
+refactor cannot silently break the demo output.
+"""
+
+from repro.analysis.joint import build_joint_table
+from repro.analysis.symbolic import build_symbolic_table
+from repro.lang.parser import parse_transaction
+from repro.logic.formula import Cmp
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.logic.linearize import linearize_for_treaty
+from repro.logic.terms import Add, Const, IndexedObjT, Mul, Neg, ObjT, ParamT, TempT
+from repro.treaty.config import equal_split_configuration
+from repro.treaty.table import TreatyTable
+from repro.treaty.templates import ConfigVar, build_templates
+
+T1_SRC = """
+transaction T1() {
+  xh := read(x); yh := read(y);
+  if xh + yh < 10 then { write(x = xh + 1) } else { write(x = xh - 1) }
+}
+"""
+
+
+class TestTermFormulaPretty:
+    def test_terms(self):
+        term = Add(Mul(Const(3), ObjT("x")), Neg(TempT("t")))
+        assert term.pretty() == "((3 * x) + (-t))"
+
+    def test_param_and_indexed(self):
+        term = IndexedObjT("qty", (ParamT("item"),))
+        assert term.pretty() == "qty[@item]"
+
+    def test_formula(self):
+        f = Cmp("<=", ObjT("x"), Const(5))
+        assert f.pretty() == "x <= 5"
+
+    def test_linear_constraint(self):
+        con = LinearConstraint.make(
+            LinearExpr.make({ObjT("x"): -1, ObjT("y"): -1}), "<=", -20
+        )
+        text = con.pretty()
+        assert "<= -20" in text and "x" in text and "y" in text
+
+
+class TestTablePretty:
+    def test_symbolic_table_header(self):
+        table = build_symbolic_table(parse_transaction(T1_SRC))
+        text = table.pretty()
+        assert text.startswith("symbolic table for T1 (2 rows)")
+        assert "->" in text
+
+    def test_joint_table_header(self):
+        t2 = parse_transaction(T1_SRC.replace("T1", "T2").replace("x =", "y ="))
+        joint = build_joint_table(
+            [build_symbolic_table(parse_transaction(T1_SRC)), build_symbolic_table(t2)]
+        )
+        assert "joint symbolic table for {T1, T2}" in joint.pretty()
+
+    def test_treaty_table_pretty(self):
+        db = {"x": 10, "y": 13}
+        getobj = lambda n: db.get(n, 0)  # noqa: E731
+        guard = Cmp(">=", Add(ObjT("x"), ObjT("y")), Const(20))
+        lin = linearize_for_treaty(guard, getobj)
+        templates = build_templates(lin, lambda n: 1 if n == "x" else 2, [1, 2])
+        config = equal_split_configuration(templates, getobj)
+        table = TreatyTable.assemble(lin, templates, config, round_number=3)
+        text = table.pretty()
+        assert "round 3" in text
+        assert "global:" in text
+        assert "site 1:" in text and "site 2:" in text
+
+    def test_config_var_repr_stable(self):
+        assert repr(ConfigVar(site=2, clause=7)) == "c[s2,cl7]"
+
+
+class TestTransactionPretty:
+    def test_transaction_renders_header_and_body(self):
+        tx = parse_transaction(T1_SRC)
+        text = tx.pretty()
+        assert text.startswith("transaction T1()")
+        assert "if" in text and "write(x" in text
+
+    def test_distinct_clause_rendered(self):
+        tx = parse_transaction(
+            "transaction T(a, b) distinct(a, b) { write(q(@a) = read(q(@b))) }"
+        )
+        assert "distinct(a, b)" in tx.pretty()

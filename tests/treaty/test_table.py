@@ -1,0 +1,96 @@
+"""Tests for the treaty table and the indexed fast-path check.
+
+``holds_after_writes`` is a soundness-critical optimization: the
+per-commit treaty check evaluates only clauses touching written
+objects.  Its contract -- equivalence to the full check whenever the
+treaty held before the writes -- is property-tested here.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.logic.terms import ObjT
+from repro.treaty.table import LocalTreaty
+
+OBJECTS = ["a", "b", "c", "d"]
+
+
+def _random_treaty(rng: random.Random, db: dict[str, int]) -> LocalTreaty:
+    """A treaty of random <=-clauses that hold on db."""
+    constraints = []
+    for _ in range(rng.randint(1, 5)):
+        names = rng.sample(OBJECTS, rng.randint(1, 3))
+        coeffs = {ObjT(n): rng.choice((-2, -1, 1, 2)) for n in names}
+        value = sum(c * db.get(v.name, 0) for v, c in coeffs.items())
+        slack = rng.randint(0, 6)
+        constraints.append(
+            LinearConstraint.make(LinearExpr.make(coeffs), "<=", value + slack)
+        )
+    return LocalTreaty(site=0, constraints=constraints)
+
+
+class TestLocalTreaty:
+    def test_holds_basic(self):
+        treaty = LocalTreaty(
+            site=0,
+            constraints=[
+                LinearConstraint.make(LinearExpr.variable(ObjT("a")), "<=", 5)
+            ],
+        )
+        assert treaty.holds(lambda n: 5)
+        assert not treaty.holds(lambda n: 6)
+
+    def test_violated_clauses_reported(self):
+        treaty = LocalTreaty(
+            site=0,
+            constraints=[
+                LinearConstraint.make(LinearExpr.variable(ObjT("a")), "<=", 5),
+                LinearConstraint.make(LinearExpr.variable(ObjT("b")), "<=", 99),
+            ],
+        )
+        violated = treaty.violated_clauses(lambda n: {"a": 9, "b": 0}.get(n, 0))
+        assert len(violated) == 1
+
+    def test_objects_enumeration(self):
+        treaty = LocalTreaty(
+            site=0,
+            constraints=[
+                LinearConstraint.make(
+                    LinearExpr.make({ObjT("a"): 1, ObjT("b"): -1}), "<=", 3
+                )
+            ],
+        )
+        assert treaty.objects() == {"a", "b"}
+
+    def test_fast_path_skips_untouched_clauses(self):
+        """Writing an object outside the treaty cannot violate it."""
+        treaty = LocalTreaty(
+            site=0,
+            constraints=[
+                LinearConstraint.make(LinearExpr.variable(ObjT("a")), "<=", 0)
+            ],
+        )
+        # Full check would fail on this state; the fast path correctly
+        # trusts the induction hypothesis for clauses not written.
+        assert treaty.holds_after_writes(lambda n: 99, written={"z"})
+
+    @settings(max_examples=80)
+    @given(seed=st.integers(0, 100_000))
+    def test_fast_path_equivalence_property(self, seed):
+        """PROPERTY: starting from a state where the treaty holds, after
+        any set of writes the fast path agrees with the full check."""
+        rng = random.Random(seed)
+        db = {n: rng.randint(-5, 5) for n in OBJECTS}
+        treaty = _random_treaty(rng, db)
+        assert treaty.holds(lambda n: db.get(n, 0))  # precondition
+
+        written = set(rng.sample(OBJECTS, rng.randint(0, len(OBJECTS))))
+        new_db = dict(db)
+        for name in written:
+            new_db[name] = db[name] + rng.randint(-4, 4)
+
+        lookup = lambda n: new_db.get(n, 0)  # noqa: E731
+        assert treaty.holds_after_writes(lookup, written) == treaty.holds(lookup)
