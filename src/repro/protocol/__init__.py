@@ -1,42 +1,70 @@
 """The homeostasis protocol runtime and baselines (Sections 3 and 5).
 
-- :mod:`repro.protocol.messages` -- message vocabulary (counted by
-  the kernel, priced by the simulator);
+- :mod:`repro.protocol.messages` -- the typed inter-site message
+  vocabulary plus :class:`MessageStats`, a derived view over a
+  transport trace;
+- :mod:`repro.protocol.transport` -- the loopback message fabric:
+  every message the distributed deployment would send is recorded
+  with its endpoints, grouped per negotiation, and priced per edge by
+  the simulator;
 - :mod:`repro.protocol.site` -- a site server: storage engine,
   snapshots of remote objects, stored-procedure execution with the
-  pre-commit local treaty check;
+  pre-commit local treaty check; also the transport endpoint;
 - :mod:`repro.protocol.catalog` -- stored procedures compiled from
   symbolic tables (Section 5.1);
 - :mod:`repro.protocol.remote_writes` -- the Appendix B transform
   eliminating remote writes via per-site delta objects;
 - :mod:`repro.protocol.homeostasis` -- the coordinator implementing
-  the round lifecycle (treaty generation, normal execution, cleanup);
+  the round lifecycle (treaty generation, normal execution,
+  participant-scoped cleanup);
 - :mod:`repro.protocol.baselines` -- LOCAL, 2PC and OPT
   (demarcation-style) execution modes from Section 6.
 """
 
-from repro.protocol.messages import MessageStats
+from repro.protocol.messages import (
+    CleanupRun,
+    Decision,
+    Message,
+    MessageStats,
+    Prepare,
+    SyncBroadcast,
+    TreatyInstall,
+    Vote,
+)
+from repro.protocol.transport import NegotiationTrace, Transport, TransportError
 from repro.protocol.catalog import StoredProcedure, StoredProcedureCatalog
 from repro.protocol.site import SiteResult, SiteServer
 from repro.protocol.remote_writes import ReplicationSpec, transform_for_site
 from repro.protocol.homeostasis import (
     ClusterResult,
     HomeostasisCluster,
+    SyncRound,
     TreatyStrategy,
 )
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
 
 __all__ = [
+    "CleanupRun",
     "ClusterResult",
+    "Decision",
     "HomeostasisCluster",
     "LocalCluster",
+    "Message",
     "MessageStats",
+    "NegotiationTrace",
+    "Prepare",
     "ReplicationSpec",
     "SiteResult",
     "SiteServer",
     "StoredProcedure",
     "StoredProcedureCatalog",
+    "SyncBroadcast",
+    "SyncRound",
+    "Transport",
+    "TransportError",
+    "TreatyInstall",
     "TreatyStrategy",
     "TwoPhaseCommitCluster",
+    "Vote",
     "transform_for_site",
 ]

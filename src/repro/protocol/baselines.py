@@ -25,13 +25,25 @@ from typing import Mapping, Sequence
 from repro.lang.ast import Transaction
 from repro.lang.interp import ExecContext, execute
 from repro.protocol.homeostasis import ClusterResult, ClusterStats, ProtocolError
-from repro.protocol.messages import MessageStats
+from repro.protocol.messages import Decision, Message, Prepare
+from repro.protocol.transport import Transport
 from repro.storage.engine import LocalEngine
 
 
 @dataclass
 class _Replica:
+    """A full-copy replica; a transport endpoint for 2PC traffic."""
+
     engine: LocalEngine = field(default_factory=LocalEngine)
+
+    def handle(self, msg: Message):
+        if isinstance(msg, Prepare):
+            for name, value in msg.updates:
+                self.engine.poke(name, value)
+            return True  # vote yes
+        if isinstance(msg, Decision):
+            return None
+        raise TypeError(f"replica: unhandled message {msg!r}")
 
 
 class _ReplicatedBase:
@@ -50,12 +62,14 @@ class _ReplicatedBase:
         self.transactions = dict(transactions)
         self.tx_home = dict(tx_home)
         self.arrays = dict(arrays or {})
-        self.stats = ClusterStats()
+        self.transport = Transport()
+        self.stats = ClusterStats(transport=self.transport)
         self.replicas: dict[int, _Replica] = {}
         for sid in self.site_ids:
             replica = _Replica()
             replica.engine.store.apply(initial_db)
             self.replicas[sid] = replica
+            self.transport.register(sid, replica)
 
     def _run_at(self, sid: int, tx_name: str, params: Mapping[str, int] | None):
         tx = self.transactions[tx_name]
@@ -109,13 +123,20 @@ class TwoPhaseCommitCluster(_ReplicatedBase):
         # Phase one + two across all replicas; the write set ships with
         # the prepare messages (ROWA replication).
         origin_engine = self.replicas[origin].engine
-        updates = {name: origin_engine.peek(name) for name in written}
-        for sid, replica in self.replicas.items():
-            if sid != origin:
-                replica.engine.store.apply(updates)
-        self.stats.messages.record_2pc(len(self.site_ids))
+        payload = tuple(
+            sorted((name, origin_engine.peek(name)) for name in written)
+        )
+        with self.transport.negotiation("2pc", origin):
+            for sid in self.site_ids:
+                if sid != origin:
+                    self.transport.send(Prepare(src=origin, dst=sid, updates=payload))
+            for sid in self.site_ids:
+                if sid != origin:
+                    self.transport.send(Decision(src=origin, dst=sid, commit=True))
         self.stats.negotiations += 1  # every transaction coordinates
-        return ClusterResult(log=log, site=origin, synced=True)
+        return ClusterResult(
+            log=log, site=origin, synced=True, participants=tuple(self.site_ids)
+        )
 
     def replica_state(self, sid: int) -> dict[str, int]:
         return self.replicas[sid].engine.store.snapshot()

@@ -14,14 +14,22 @@ Rounds have three phases:
 
 - **cleanup**: on a violation, the aborted transaction T' wins the
   vote (the kernel is sequential, so there is exactly one violator;
-  the simulator serializes racing violators and re-runs losers), all
-  sites broadcast their dirty owned objects, everyone installs the
-  union, T' is executed in full at every site, and a new round
-  begins.
+  the simulator serializes racing violators and re-runs losers), the
+  *participant set* of the violation is computed -- the fixpoint
+  closure of the dirty objects' owners, the sites named in the
+  affected treaty factors, and the homes/owners of every treaty
+  instance depending on those objects -- the participants broadcast
+  their dirty owned objects to each other, T' is executed in full at
+  every participant, and a new round begins.  Sites outside the
+  closure keep their state and treaties untouched (the incremental
+  generator guarantees their pieces are unchanged), which is the
+  coordination-avoidance lever: a violation between two nearby sites
+  never involves, or waits for, the far side of the cluster.
 
 The kernel is synchronous -- it performs the real state changes and
-*counts* the messages a distributed deployment would send; the
-discrete-event simulator prices those counts with RTTs.
+sends every message a distributed deployment would send through a
+typed :class:`~repro.protocol.transport.Transport`; the discrete-
+event simulator prices the recorded trace with per-edge RTTs.
 
 Treaty generation is *incremental*: factors of the joint table whose
 objects did not change since the previous round keep their clauses
@@ -45,8 +53,15 @@ from repro.lang.ast import Transaction, transaction_reads, transaction_writes
 from repro.logic.linear import LinearConstraint, LinearExpr
 from repro.logic.linearize import LinearizedTreaty, linearize_for_treaty
 from repro.logic.terms import ObjT
-from repro.protocol.messages import MessageStats
+from repro.protocol.messages import (
+    CleanupRun,
+    MessageStats,
+    SyncBroadcast,
+    TreatyInstall,
+    Vote,
+)
 from repro.protocol.site import SiteResult, SiteServer
+from repro.protocol.transport import Transport
 from repro.treaty.config import (
     Configuration,
     default_configuration,
@@ -77,6 +92,9 @@ class ClusterResult:
     site: int
     synced: bool  # did this transaction trigger a treaty negotiation?
     row_index: int | None = None
+    #: sites the negotiation involved (empty for local commits); the
+    #: simulator prices the round from the RTT edges between them
+    participants: tuple[int, ...] = ()
 
 
 @dataclass
@@ -140,6 +158,8 @@ class TreatyGenerator:
     _instance_keys: list[tuple[str, ...]] | None = None
     #: workload samples shared by all instances within one generate()
     _sampled_runs: list[list[dict[str, int]]] | None = None
+    #: lazy reverse index: object name -> instances depending on it
+    _object_to_instances: dict[str, list[int]] | None = None
 
     # -- instance/object indexing -------------------------------------------------
 
@@ -175,6 +195,40 @@ class TreatyGenerator:
                             names.add(read)
                 self._instance_objects.append(names)
         return self._instance_objects[idx]
+
+    def instances_touching(self, names) -> set[int]:
+        """Instances whose treaty piece depends on any of the objects."""
+        if self._object_to_instances is None:
+            index: dict[str, list[int]] = {}
+            for idx in range(len(self.ground_tables)):
+                for name in self._objects_of_instance(idx):
+                    index.setdefault(name, []).append(idx)
+            self._object_to_instances = index
+        out: set[int] = set()
+        for name in names:
+            out.update(self._object_to_instances.get(name, ()))
+        return out
+
+    def objects_touching(self, names) -> set[str]:
+        """Union of the object sets of every instance touching ``names``
+        (the state a negotiation over ``names`` must refresh)."""
+        out: set[str] = set()
+        for idx in self.instances_touching(names):
+            out |= self._objects_of_instance(idx)
+        return out
+
+    def sites_touching(self, names) -> set[int]:
+        """Sites a change to ``names`` drags into a negotiation: the
+        home site of every affected instance (its snapshots of the
+        changed objects parameterize its piece) plus the owners of
+        every object those instances depend on (their current values
+        feed the recomputation)."""
+        sites: set[int] = set()
+        for idx in self.instances_touching(names):
+            sites.add(self.ground_tables[idx][1])
+            for name in self._objects_of_instance(idx):
+                sites.add(self.locate(name))
+        return sites
 
     # -- per-instance computation ---------------------------------------------------
 
@@ -319,14 +373,39 @@ class TreatyGenerator:
 
 
 @dataclass
+class SyncRound:
+    """What the most recent synchronization round covered.
+
+    Exposed to post-sync hooks so they can confine their rewrites to
+    the participant set (non-participant sites saw none of this
+    round's messages and must not be mutated behind their backs).
+    """
+
+    participants: frozenset[int]
+    #: the broadcast update set (object -> synchronized value)
+    updates: dict[str, int]
+    #: the subset of updates that actually changed since their owner's
+    #: last checkpoint
+    dirty: set[str]
+
+
+@dataclass
 class ClusterStats:
-    """Aggregate protocol statistics."""
+    """Aggregate protocol statistics.
+
+    ``messages`` is a derived view over the transport trace -- the
+    kernel sends typed messages and never maintains counters by hand.
+    """
 
     submitted: int = 0
     committed_local: int = 0
     negotiations: int = 0
     rounds: int = 0
-    messages: MessageStats = field(default_factory=MessageStats)
+    transport: Transport = field(default_factory=Transport)
+
+    @property
+    def messages(self) -> MessageStats:
+        return self.transport.message_stats()
 
     @property
     def sync_ratio(self) -> float:
@@ -349,15 +428,20 @@ class HomeostasisCluster:
         arrays: Mapping[str, tuple[int, ...]] | None = None,
         post_sync_hooks: Sequence[Callable[["HomeostasisCluster"], None]] = (),
         validate: bool = False,
+        deterministic_solver: bool = True,
+        transport: Transport | None = None,
     ) -> None:
         self.site_ids = tuple(site_ids)
         self.locate = locate
         self.tx_home = dict(tx_home)
         self.generator = generator
-        self.stats = ClusterStats()
+        self.transport = transport if transport is not None else Transport()
+        self.stats = ClusterStats(transport=self.transport)
         self.treaty_table: TreatyTable | None = None
         self.post_sync_hooks = list(post_sync_hooks)
         self.validate = validate
+        self.deterministic_solver = deterministic_solver
+        self.last_sync: SyncRound | None = None
         arrays = arrays or {}
 
         self.sites: dict[int, SiteServer] = {}
@@ -368,6 +452,7 @@ class HomeostasisCluster:
             server.engine.store.apply(initial_db)
             server.engine.checkpoint()
             self.sites[sid] = server
+            self.transport.register(sid, server)
 
         self._install_new_treaty(dirty=None)
 
@@ -376,31 +461,162 @@ class HomeostasisCluster:
     def _reference_site(self) -> SiteServer:
         return self.sites[self.site_ids[0]]
 
-    def _install_new_treaty(self, dirty: set[str] | None) -> None:
-        ref = self._reference_site()
+    def _participants_for(
+        self, origin: int, seed: set[str]
+    ) -> tuple[set[int], set[str]]:
+        """The participant set of a negotiation seeded by ``seed``.
+
+        Fixpoint closure: a changed object drags in its owner, every
+        site whose installed treaty enforces a clause over it (the
+        per-site factor index), and the home site and object owners of
+        every treaty-generation instance depending on it.  Each newly
+        joined site contributes its own accumulated dirty objects --
+        they ride along in the same broadcast and may widen the circle
+        further.  Sites outside the fixpoint keep their treaties and
+        state untouched; the incremental generator guarantees their
+        pieces would regenerate verbatim.
+        """
+        site_set = set(self.site_ids)
+        participants = {origin}
+        closure: set[str] = set()
+        pending = set(seed)
+        while pending:
+            closure |= pending
+            sites = {self.locate(name) for name in pending}
+            sites |= self.generator.sites_touching(pending)
+            if self.treaty_table is not None:
+                sites |= self.treaty_table.sites_for_objects(pending)
+            new_sites = (sites & site_set) - participants
+            participants |= new_sites
+            pending = set()
+            for sid in new_sites:
+                pending |= set(self.sites[sid].dirty_owned_values())
+            pending -= closure
+        return participants, closure
+
+    def _install_new_treaty(
+        self,
+        dirty: set[str] | None,
+        participants: set[int] | None = None,
+        origin: int | None = None,
+    ) -> None:
+        if participants is None:
+            participants = set(self.site_ids)
+        if origin is None or origin not in participants:
+            origin = min(participants)
+        ref = self.sites[origin]
         getobj = ref.engine.peek
         snapshot = ref.engine.store.data  # read-only use
         self.stats.rounds += 1
         table = self.generator.generate(getobj, snapshot, self.stats.rounds, dirty=dirty)
         self.treaty_table = table
-        for sid, server in self.sites.items():
-            server.install_treaty(table.local_for(sid))
-        self.stats.messages.record_treaty_round(
-            len(self.site_ids), deterministic_solver=True
-        )
+        for sid in sorted(participants):
+            treaty = table.local_for(sid)
+            if self.deterministic_solver or sid == origin:
+                # A deterministic solver lets every participant
+                # regenerate the identical treaty from the synchronized
+                # state, eliding the second communication round
+                # (Section 5.1); otherwise the coordinator ships it.
+                self.sites[sid].install_treaty(treaty)
+            else:
+                self.transport.send(
+                    TreatyInstall(
+                        src=origin,
+                        dst=sid,
+                        round_number=table.round_number,
+                        treaty=treaty,
+                    )
+                )
+        if self.validate:
+            self._assert_untouched_locals(participants, table)
 
-    def _synchronize(self) -> set[str]:
+    def _synchronize(
+        self,
+        participants: set[int],
+        affected: set[str] | None = None,
+        full: bool = False,
+    ) -> tuple[dict[str, int], set[str]]:
+        """Participant-scoped state exchange.
+
+        Each participant broadcasts its dirty owned objects plus its
+        owned objects among ``affected`` (the state feeding recomputed
+        treaty factors -- possibly clean, but the coordinator must see
+        current values to regenerate from).  ``full`` upgrades the
+        share to the complete owned partition (forced global syncs at
+        experiment boundaries).
+        """
+        ordered = sorted(participants)
+        shares: dict[int, dict[str, int]] = {}
+        dirty: set[str] = set()
+        for sid in ordered:
+            server = self.sites[sid]
+            share = dict(server.dirty_owned_values())
+            dirty |= set(share)
+            if full:
+                for name in server.engine.store.support():
+                    if server.owns(name) and name not in share:
+                        share[name] = server.engine.peek(name)
+            elif affected:
+                for name in affected:
+                    if self.locate(name) == sid and name not in share:
+                        share[name] = server.engine.peek(name)
+            shares[sid] = share
+        for src in ordered:
+            payload = tuple(sorted(shares[src].items()))
+            for dst in ordered:
+                if dst != src:
+                    self.transport.send(
+                        SyncBroadcast(src=src, dst=dst, updates=payload)
+                    )
+        for sid in ordered:
+            self.sites[sid].finish_sync()
         updates: dict[str, int] = {}
-        for server in self.sites.values():
-            updates.update(server.dirty_owned_values())
-        for server in self.sites.values():
-            server.apply_sync(updates)
-        self.stats.messages.record_sync_round(len(self.site_ids))
+        for share in shares.values():
+            updates.update(share)
+        self.last_sync = SyncRound(
+            participants=frozenset(participants), updates=updates, dirty=set(dirty)
+        )
         for hook in self.post_sync_hooks:
             hook(self)
         if self.validate:
+            self._assert_sync_agreement(participants, updates)
+        return updates, dirty
+
+    def _assert_sync_agreement(
+        self, participants: set[int], updates: Mapping[str, int]
+    ) -> None:
+        """Every participant agrees with each object's owner on every
+        synchronized value (non-participants are allowed to lag)."""
+        if participants == set(self.site_ids):
             self._assert_sites_agree()
-        return set(updates)
+            return
+        for name in updates:
+            owner_value = self.sites[self.locate(name)].engine.peek(name)
+            for sid in participants:
+                value = self.sites[sid].engine.peek(name)
+                if value != owner_value:
+                    raise ProtocolError(
+                        f"post-sync divergence on {name!r}: participant {sid} "
+                        f"has {value}, owner has {owner_value}"
+                    )
+
+    def _assert_untouched_locals(
+        self, participants: set[int], table: TreatyTable
+    ) -> None:
+        """Sites outside the participant set must already enforce the
+        exact piece the new table assigns them (the incremental
+        generator reuses their factors verbatim)."""
+        for sid in self.site_ids:
+            if sid in participants:
+                continue
+            installed = self.sites[sid].local_treaty
+            have = {c.pretty() for c in installed.constraints} if installed else set()
+            expect = {c.pretty() for c in table.local_for(sid).constraints}
+            if have != expect:
+                raise ProtocolError(
+                    f"non-participant site {sid} treaty drifted: "
+                    f"{sorted(have)} vs {sorted(expect)}"
+                )
 
     def _assert_sites_agree(self) -> None:
         ref = self._reference_site().state_snapshot()
@@ -435,23 +651,70 @@ class HomeostasisCluster:
             )
 
         # Cleanup phase: T' was aborted; it wins the (trivial) vote.
+        # The round is scoped to the participant closure of the
+        # violation -- untouched sites neither hear about it nor
+        # change state, and their installed treaties stay valid.
         self.stats.negotiations += 1
-        self.stats.messages.record_vote(len(self.site_ids))
-        dirty = self._synchronize()
-        logs: dict[int, tuple[int, ...]] = {}
-        written_union: set[str] = set()
-        for sid, other in self.sites.items():
-            log, written = other.run_cleanup_transaction(tx_name, params)
-            logs[sid] = log
-            written_union |= written
-        reference = logs[origin]
-        if any(log != reference for log in logs.values()):
-            raise ProtocolError(f"cleanup runs of {tx_name} diverged: {logs}")
-        # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
-        # objects whose deltas were already dirty, and those factors
-        # are recomputed anyway, so dirty | written covers everything.
-        self._install_new_treaty(dirty=dirty | written_union)
-        return ClusterResult(log=reference, site=origin, synced=True)
+        # Seed: the violated treaty factors, everything the aborted
+        # attempt tried to write (T' re-runs after sync and its write
+        # set must be covered), and the origin's accumulated dirty set.
+        seed = (
+            set(result.violated_objects)
+            | set(result.attempted_writes)
+            | set(server.dirty_owned_values())
+        )
+        participants, closure = self._participants_for(origin, seed)
+        affected = self.generator.objects_touching(closure) | closure
+        with self.transport.negotiation("cleanup", origin):
+            for sid in sorted(participants):
+                if sid != origin:
+                    self.transport.send(Vote(src=origin, dst=sid, tx_name=tx_name))
+            updates, dirty = self._synchronize(participants, affected=affected)
+            params_payload = tuple(sorted((params or {}).items()))
+            logs: dict[int, tuple[int, ...]] = {}
+            written_union: set[str] = set()
+            for sid in sorted(participants):
+                if sid == origin:
+                    log, written = server.run_cleanup_transaction(tx_name, params)
+                else:
+                    log, written = self.transport.send(
+                        CleanupRun(
+                            src=origin,
+                            dst=sid,
+                            tx_name=tx_name,
+                            params=params_payload,
+                        )
+                    )
+                logs[sid] = log
+                written_union |= written
+            reference = logs[origin]
+            if any(log != reference for log in logs.values()):
+                raise ProtocolError(f"cleanup runs of {tx_name} diverged: {logs}")
+            # The closure was computed before T' ran; verify its
+            # overapproximation covered everything T' actually wrote
+            # (owners of written objects and sites whose treaty
+            # factors depend on them must all have participated).
+            needed = self.generator.sites_touching(written_union)
+            needed |= {self.locate(name) for name in written_union}
+            needed |= self.treaty_table.sites_for_objects(written_union)
+            uncovered = (needed & set(self.site_ids)) - participants
+            if uncovered:
+                raise ProtocolError(
+                    f"cleanup of {tx_name} wrote objects involving "
+                    f"non-participant sites {sorted(uncovered)}"
+                )
+            # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
+            # objects whose deltas were already dirty, and those factors
+            # are recomputed anyway, so dirty | written covers everything.
+            self._install_new_treaty(
+                dirty=dirty | written_union, participants=participants, origin=origin
+            )
+        return ClusterResult(
+            log=reference,
+            site=origin,
+            synced=True,
+            participants=tuple(sorted(participants)),
+        )
 
     # -- inspection ----------------------------------------------------------------
 
@@ -465,6 +728,15 @@ class HomeostasisCluster:
         return out
 
     def force_synchronize(self) -> None:
-        """External sync request (used at experiment boundaries)."""
-        dirty = self._synchronize()
-        self._install_new_treaty(dirty=dirty)
+        """External sync request (used at experiment boundaries).
+
+        A true global barrier: every site participates and exchanges
+        its complete owned partition, so even values whose owners last
+        synchronized inside a narrower participant set converge
+        everywhere.
+        """
+        origin = self.site_ids[0]
+        participants = set(self.site_ids)
+        with self.transport.negotiation("sync", origin):
+            _updates, dirty = self._synchronize(participants, full=True)
+            self._install_new_treaty(dirty=dirty, participants=participants, origin=origin)

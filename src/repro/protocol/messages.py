@@ -1,55 +1,146 @@
-"""Inter-site message vocabulary and accounting.
+"""Inter-site message vocabulary.
 
-The correctness kernel executes synchronously but *counts* every
-message the real distributed system would send; the discrete-event
-simulator prices the same counts with network latencies.  The message
-complexity of one treaty negotiation matches Section 5.1: "every
-treaty negotiation requires two rounds of global communication -- one
-for synchronizing database state across nodes and one for
+The correctness kernel executes synchronously but sends every message
+the real distributed system would send through a typed
+:class:`~repro.protocol.transport.Transport`; the discrete-event
+simulator prices the recorded trace with per-edge network latencies.
+The message complexity of one treaty negotiation matches Section 5.1:
+"every treaty negotiation requires two rounds of global communication
+-- one for synchronizing database state across nodes and one for
 communicating the new treaties" (the second round is elided when the
-solver is deterministic, which ours is; we count it separately so
-both accounting styles are available).
+solver is deterministic, because every participant recomputes the
+identical treaty locally; with a nondeterministic solver the
+coordinator ships :class:`TreatyInstall` messages instead).
+
+With participant-scoped synchronization the "global" in the quote
+shrinks to the participant set of the violation: a cleanup round over
+``p`` participants costs ``p*(p-1)`` :class:`SyncBroadcast` messages,
+``p-1`` votes and ``p-1`` cleanup-run instructions -- independent of
+the cluster size.
+
+:class:`MessageStats` is a *derived view* over a transport trace, not
+a set of live counters: the kernel never increments anything by hand,
+it just sends messages.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.treaty.table import LocalTreaty
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed inter-site message (src and dst are site ids)."""
+
+    src: int
+    dst: int
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        """The undirected network edge this message crosses."""
+        a, b = self.src, self.dst
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class SyncBroadcast(Message):
+    """Cleanup-phase state exchange: the sender's share of the round's
+    update set (its dirty owned objects plus its owned objects that
+    feed recomputed treaty factors)."""
+
+    updates: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class TreatyInstall(Message):
+    """New local treaty shipped by the coordinator (only sent when the
+    treaty solver is nondeterministic; a deterministic solver lets
+    every participant regenerate the identical treaty locally)."""
+
+    round_number: int = 0
+    treaty: "LocalTreaty | None" = None
+
+
+@dataclass(frozen=True)
+class Vote(Message):
+    """Violation-winner election message for the cleanup phase."""
+
+    tx_name: str = ""
+
+
+@dataclass(frozen=True)
+class CleanupRun(Message):
+    """Instruction to re-run the winning transaction T' in full on the
+    synchronized state (carries the transaction id and parameters)."""
+
+    tx_name: str = ""
+    params: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Prepare(Message):
+    """2PC phase one: write set shipped to a cohort replica."""
+
+    updates: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class Decision(Message):
+    """2PC phase two: commit/abort decision."""
+
+    commit: bool = True
 
 
 @dataclass
 class MessageStats:
-    """Counters for the communication a protocol run would incur."""
+    """Counters for the communication a protocol run incurred.
+
+    Build one with :meth:`from_trace`; the fields mirror the message
+    vocabulary above.  ``negotiations`` counts synchronization rounds
+    (cleanup-phase and forced), which is how the paper reports
+    communication frequency.
+    """
 
     sync_broadcasts: int = 0  # state-synchronization messages
     treaty_updates: int = 0  # new-treaty propagation messages
     vote_messages: int = 0  # violation-winner election messages
+    cleanup_messages: int = 0  # cleanup-run (re-execute T') messages
     prepare_messages: int = 0  # 2PC phase-one messages
     decision_messages: int = 0  # 2PC phase-two messages
     negotiations: int = 0  # treaty negotiation events (round ends)
+
+    _COUNTER_FOR = {
+        SyncBroadcast: "sync_broadcasts",
+        TreatyInstall: "treaty_updates",
+        Vote: "vote_messages",
+        CleanupRun: "cleanup_messages",
+        Prepare: "prepare_messages",
+        Decision: "decision_messages",
+    }
 
     def total(self) -> int:
         return (
             self.sync_broadcasts
             + self.treaty_updates
             + self.vote_messages
+            + self.cleanup_messages
             + self.prepare_messages
             + self.decision_messages
         )
 
-    def record_sync_round(self, num_sites: int) -> None:
-        """All-to-all state exchange: each site broadcasts to the rest."""
-        self.sync_broadcasts += num_sites * (num_sites - 1)
-        self.negotiations += 1
-
-    def record_treaty_round(self, num_sites: int, deterministic_solver: bool) -> None:
-        """Treaty propagation; free when every site solves identically."""
-        if not deterministic_solver:
-            self.treaty_updates += num_sites - 1
-
-    def record_vote(self, num_sites: int) -> None:
-        self.vote_messages += num_sites - 1
-
-    def record_2pc(self, num_sites: int) -> None:
-        """One prepare round and one decision round across replicas."""
-        self.prepare_messages += num_sites - 1
-        self.decision_messages += num_sites - 1
+    @classmethod
+    def from_trace(
+        cls, messages: Iterable[Message], negotiations: int = 0
+    ) -> "MessageStats":
+        """Derive the counters from a transport trace."""
+        stats = cls(negotiations=negotiations)
+        for msg in messages:
+            counter = cls._COUNTER_FOR.get(type(msg))
+            if counter is None:
+                raise TypeError(f"unknown message type {type(msg).__name__}")
+            setattr(stats, counter, getattr(stats, counter) + 1)
+        return stats

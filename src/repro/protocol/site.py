@@ -21,6 +21,13 @@ from typing import Callable, Mapping
 
 from repro.lang.interp import ExecContext, execute
 from repro.protocol.catalog import StoredProcedureCatalog
+from repro.protocol.messages import (
+    CleanupRun,
+    Message,
+    SyncBroadcast,
+    TreatyInstall,
+    Vote,
+)
 from repro.storage.engine import LocalEngine
 from repro.treaty.table import LocalTreaty
 
@@ -33,6 +40,12 @@ class SiteResult:
     violated: bool
     log: tuple[int, ...] = ()
     row_index: int | None = None
+    #: objects of the violated treaty clauses (seeds the cleanup
+    #: phase's participant computation)
+    violated_objects: frozenset[str] = frozenset()
+    #: write set of the aborted attempt -- T' re-runs after sync and
+    #: its writes must be covered by the participant closure up front
+    attempted_writes: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -68,11 +81,20 @@ class SiteServer:
             )
             proc.run(ctx)
             self._assert_writes_local(txn.written, tx_name)
-            if self.local_treaty is not None and not self.local_treaty.holds_after_writes(
-                getobj, txn.written
-            ):
-                txn.abort()
-                return SiteResult(committed=False, violated=True, row_index=proc.row_index)
+            if self.local_treaty is not None:
+                violated = self.local_treaty.violations_after_writes(
+                    getobj, txn.written
+                )
+                if violated:
+                    attempted = frozenset(txn.written)
+                    txn.abort()
+                    return SiteResult(
+                        committed=False,
+                        violated=True,
+                        row_index=proc.row_index,
+                        violated_objects=frozenset(violated),
+                        attempted_writes=attempted,
+                    )
             log = tuple(txn.log)
             txn.commit()
             return SiteResult(
@@ -108,6 +130,38 @@ class SiteServer:
         for name, value in updates.items():
             self.engine.poke(name, value)
         self.engine.checkpoint()
+
+    def finish_sync(self) -> None:
+        """End of a sync round this site participated in: the dirty
+        set was broadcast, so reset the round-level dirty tracking."""
+        self.engine.checkpoint()
+
+    # -- the transport endpoint ------------------------------------------------------
+
+    def handle(self, msg: Message):
+        """Receive one typed transport message.
+
+        - ``SyncBroadcast`` installs the sender's share of the round's
+          update set into this site's store (snapshots for remote
+          objects, no-ops for owned ones);
+        - ``TreatyInstall`` installs the shipped local treaty;
+        - ``Vote`` acknowledges the violation-winner election;
+        - ``CleanupRun`` executes T' in full and replies with the
+          (log, written) pair the coordinator cross-checks.
+        """
+        if isinstance(msg, SyncBroadcast):
+            for name, value in msg.updates:
+                self.engine.poke(name, value)
+            return None
+        if isinstance(msg, TreatyInstall):
+            assert msg.treaty is not None
+            self.install_treaty(msg.treaty)
+            return None
+        if isinstance(msg, Vote):
+            return True
+        if isinstance(msg, CleanupRun):
+            return self.run_cleanup_transaction(msg.tx_name, dict(msg.params))
+        raise TypeError(f"site {self.site_id}: unhandled message {msg!r}")
 
     def run_cleanup_transaction(
         self, tx_name: str, params: Mapping[str, int] | None = None

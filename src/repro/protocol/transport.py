@@ -1,0 +1,124 @@
+"""The typed message transport between site endpoints.
+
+The kernel is synchronous, so the transport is a loopback fabric:
+:meth:`Transport.send` records the message in the trace and delivers
+it immediately to the destination endpoint's ``handle`` method,
+returning the handler's reply (request/response collapses into one
+call).  What makes it more than a function call is the *trace*: every
+message the distributed deployment would put on the wire is recorded
+with its source and destination, so
+
+- :class:`~repro.protocol.messages.MessageStats` is derived by
+  counting the trace (no scattered ``record_*`` bookkeeping), and
+- the discrete-event simulator prices each negotiation from the
+  *edges actually used* -- a violation involving only sites A and B
+  pays the A<->B round-trip time from the configured RTT matrix, not
+  the cluster-wide worst edge.
+
+Messages sent inside a :meth:`Transport.negotiation` context are
+additionally grouped into a :class:`NegotiationTrace`, which exposes
+the participant set and undirected edge set of that round.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol
+
+from repro.protocol.messages import Message, MessageStats, SyncBroadcast
+
+
+class TransportError(Exception):
+    """Misrouted messages or misuse of the transport."""
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages (usually a site server)."""
+
+    def handle(self, msg: Message) -> Any: ...
+
+
+#: Negotiation kinds that constitute a synchronization round (the
+#: quantity the paper reports as "negotiations"); '2pc' groups are
+#: per-transaction commits, not treaty negotiations.
+SYNC_KINDS = ("cleanup", "sync")
+
+
+@dataclass
+class NegotiationTrace:
+    """The messages of one negotiation (or 2PC commit) round."""
+
+    index: int
+    kind: str  # 'cleanup' | 'sync' | '2pc'
+    origin: int
+    messages: list[Message] = field(default_factory=list)
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """Every site that sent or received a message this round, plus
+        the origin (a single-site round has no messages at all)."""
+        sites = {self.origin}
+        for msg in self.messages:
+            sites.add(msg.src)
+            sites.add(msg.dst)
+        return tuple(sorted(sites))
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """Undirected network edges actually crossed this round."""
+        return tuple(sorted({m.edge for m in self.messages if m.src != m.dst}))
+
+    @property
+    def sync_message_count(self) -> int:
+        return sum(1 for m in self.messages if isinstance(m, SyncBroadcast))
+
+
+@dataclass
+class Transport:
+    """Loopback message fabric with a full trace."""
+
+    endpoints: dict[int, Endpoint] = field(default_factory=dict)
+    trace: list[Message] = field(default_factory=list)
+    negotiations: list[NegotiationTrace] = field(default_factory=list)
+    _active: NegotiationTrace | None = None
+
+    def register(self, site_id: int, endpoint: Endpoint) -> None:
+        if site_id in self.endpoints:
+            raise TransportError(f"site {site_id} already registered")
+        self.endpoints[site_id] = endpoint
+
+    def send(self, msg: Message) -> Any:
+        """Record the message and deliver it to the destination."""
+        endpoint = self.endpoints.get(msg.dst)
+        if endpoint is None:
+            raise TransportError(f"no endpoint registered for site {msg.dst}")
+        self.trace.append(msg)
+        if self._active is not None:
+            self._active.messages.append(msg)
+        return endpoint.handle(msg)
+
+    @contextmanager
+    def negotiation(self, kind: str, origin: int) -> Iterator[NegotiationTrace]:
+        """Group the messages of one round under a shared trace entry."""
+        if self._active is not None:
+            raise TransportError("negotiation rounds do not nest")
+        trace = NegotiationTrace(
+            index=len(self.negotiations), kind=kind, origin=origin
+        )
+        self._active = trace
+        try:
+            yield trace
+        finally:
+            self._active = None
+            self.negotiations.append(trace)
+
+    # -- derived views ------------------------------------------------------------
+
+    def message_stats(self) -> MessageStats:
+        """The kernel's message accounting, derived from the trace."""
+        rounds = sum(1 for n in self.negotiations if n.kind in SYNC_KINDS)
+        return MessageStats.from_trace(self.trace, negotiations=rounds)
+
+    def last_negotiation(self) -> NegotiationTrace | None:
+        return self.negotiations[-1] if self.negotiations else None

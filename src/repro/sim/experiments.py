@@ -19,6 +19,7 @@ from dataclasses import replace
 from repro.sim.metrics import SimResult
 from repro.sim.network import rtt_matrix_for
 from repro.sim.runner import SimConfig, SimRequest, simulate
+from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
 from repro.workloads.tpcc import TpccWorkload
 
@@ -87,6 +88,63 @@ def run_micro(
         num_replicas=num_replicas,
         clients_per_replica=clients_per_replica,
         rtt_ms=rtt_ms,
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def run_geo(
+    mode: str = "homeo",
+    groups: tuple[tuple[int, ...], ...] = ((0, 1), (2, 3), (0, 4)),
+    num_replicas: int = 5,
+    clients_per_replica: int = 8,
+    items_per_group: int = 30,
+    refill: int = 50,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    max_txns: int = 3_000,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One geo-partitioned microbenchmark point (Table 1 RTTs).
+
+    Items live in replication groups (site subsets), so treaty
+    negotiations are participant-scoped and the simulator prices each
+    one from the slowest RTT edge *inside the violating group* -- the
+    scenario the flat ``2 * max_rtt`` model could not express.
+    """
+    if mode not in _STRATEGY_FOR_MODE:
+        raise ValueError(f"geo benchmark supports homeo/opt, not {mode!r}")
+    workload = GeoMicroWorkload(
+        groups=groups,
+        num_sites=num_replicas,
+        items_per_group=items_per_group,
+        refill=refill,
+        initial_qty="random",  # start at steady state
+        init_seed=seed + 1,
+    )
+    cluster = workload.build_homeostasis(
+        strategy=_STRATEGY_FOR_MODE[mode],
+        lookahead=lookahead,
+        cost_factor=cost_factor,
+        seed=seed,
+    )
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(
+            req.tx_name, req.params, req.items, family=f"Buy{req.group}"
+        )
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_matrix=rtt_matrix_for(num_replicas),
         solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
         max_txns=max_txns,
         seed=seed,

@@ -37,6 +37,9 @@ class TxnRecord:
     comm_ms: float = 0.0
     solver_ms: float = 0.0
     retries: int = 0
+    #: sites the negotiation involved (empty for local commits or
+    #: kernels that do not report participant-scoped rounds)
+    participants: tuple[int, ...] = ()
 
     @property
     def latency_ms(self) -> float:
@@ -124,6 +127,16 @@ class SimResult:
             return 0.0
         synced = sum(1 for r in measured if r.kind == "sync")
         return synced / len(measured)
+
+    def participant_histogram(self) -> dict[int, int]:
+        """Negotiation count by participant-set size (how scoped the
+        cleanup rounds actually were)."""
+        out: dict[int, int] = {}
+        for r in self._measured():
+            if r.kind == "sync" and r.participants:
+                size = len(r.participants)
+                out[size] = out.get(size, 0) + 1
+        return out
 
     def breakdown_means(self) -> dict[str, float]:
         """Mean latency decomposition of *violating* transactions

@@ -60,3 +60,35 @@ def rtt_matrix_for(n: int) -> list[list[float]]:
 def max_rtt(matrix: list[list[float]]) -> float:
     """The slowest pairwise round trip (bounds a sync round)."""
     return max(max(row) for row in matrix)
+
+
+def participants_rtt(matrix: list[list[float]], participants) -> float:
+    """The slowest round trip among the given sites -- what bounds a
+    barrier round scoped to that participant set."""
+    sites = sorted(set(participants))
+    if not sites:
+        raise ValueError("participants_rtt of empty participant set")
+    if len(sites) == 1:
+        return matrix[sites[0]][sites[0]]
+    return max(matrix[a][b] for a in sites for b in sites if a < b)
+
+
+def negotiation_cost_ms(
+    matrix: list[list[float]],
+    participants,
+    fallback_ms: float,
+    rounds: float = 2.0,
+) -> float:
+    """Latency of one treaty negotiation, priced from the edges the
+    transport trace actually used.
+
+    A negotiation is ``rounds`` barrier rounds (state sync + cleanup
+    re-run / treaty install) over the participant set, so it costs
+    ``rounds`` times the slowest RTT *among the participants* -- a
+    UE<->UW violation pays the 64 ms edge, not the cluster-wide SG<->BR
+    372 ms diameter.  Kernels that do not report participants (stubs,
+    legacy clusters) fall back to the cluster-wide bound.
+    """
+    if not participants:
+        return fallback_ms
+    return rounds * participants_rtt(matrix, participants)

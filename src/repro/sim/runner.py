@@ -16,8 +16,14 @@ time), matching the paper's harness.  Each transaction passes through
 4. **the protocol decision** -- delegated to the *real* kernel
    (``HomeostasisCluster`` / baselines), so violations happen exactly
    where the treaty math says they do; the simulator only prices
-   them: a violation costs two cluster-wide round trips (state sync +
-   rerun/treaty install; Section 5.1) plus the solver-time model.
+   them: a violation costs two round trips over the *participant set
+   of the negotiation* (state sync + rerun/treaty install; Section
+   5.1) plus the solver-time model.  The participant set comes from
+   the kernel's transport trace (``ClusterResult.participants``), and
+   each round is priced at the slowest RTT edge actually used -- a
+   violation between two nearby sites never pays the cluster
+   diameter.  Kernels that do not report participants fall back to
+   the cluster-wide ``2 * max_rtt`` bound.
 
 The clock is float milliseconds.  Determinism: one seeded RNG drives
 request generation and service times; the heap breaks ties by client
@@ -32,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.sim.metrics import SimResult, TxnRecord
-from repro.sim.network import max_rtt, uniform_rtt_matrix
+from repro.sim.network import max_rtt, negotiation_cost_ms, uniform_rtt_matrix
 
 
 @dataclass
@@ -85,6 +91,9 @@ def simulate(
     """Run one closed-loop simulation to ``max_txns`` or ``duration_ms``."""
     rng = random.Random(config.seed)
     matrix = config.matrix()
+    # Cluster-wide bound: the price of a round involving every site
+    # (2PC's ROWA cohort always does; scoped negotiations price their
+    # own participant edges and only degrade to this worst case).
     sync_cost_ms = 2.0 * max_rtt(matrix)
 
     result = SimResult(
@@ -112,7 +121,6 @@ def simulate(
     #: per (replica, key) lock-free time under homeo/opt/local;
     #: per key (cluster-wide) under 2PC.
     lock_free: dict[tuple, float] = {}
-    negotiation_free = 0.0
     now = 0.0
 
     while clients and result.committed < config.max_txns and now < config.duration_ms:
@@ -124,7 +132,7 @@ def simulate(
         if config.mode in ("homeo", "opt"):
             end, record = _run_protected(
                 config, cluster, request, replica, ready, service,
-                cores, lock_free, sync_cost_ms,
+                cores, lock_free, sync_cost_ms, matrix,
             )
         elif config.mode == "2pc":
             end, record = _run_2pc(
@@ -174,6 +182,7 @@ def _run_protected(
     cores: list[list[float]],
     lock_free: dict[tuple, float],
     sync_cost_ms: float,
+    matrix: list[list[float]],
 ) -> tuple[float, TxnRecord]:
     """Homeostasis / OPT: local execution, negotiation on violation.
 
@@ -187,6 +196,10 @@ def _run_protected(
     treaties of unrelated objects renegotiate independently and in
     parallel, which is what keeps the protocol's aggregate throughput
     three orders of magnitude above 2PC.
+
+    Each negotiation is priced from the participant set the kernel
+    reports for it: two barrier rounds at the slowest RTT among the
+    sites actually involved (per-edge latency pricing).
     """
     start_exec = _acquire_core(cores, replica, ready)
     keys = [(replica, k) for k in request.lock_keys]
@@ -207,10 +220,12 @@ def _run_protected(
         return local_end, record
 
     solver = config.solver_ms if config.mode == "homeo" else 0.0
+    participants = tuple(getattr(outcome, "participants", ()) or ())
+    comm = negotiation_cost_ms(matrix, participants, fallback_ms=sync_cost_ms)
     negotiation_start = local_end
     for k in request.lock_keys:
         negotiation_start = max(negotiation_start, lock_free.get(("neg", k), 0.0))
-    end = negotiation_start + sync_cost_ms + solver
+    end = negotiation_start + comm + solver
     for k in request.lock_keys:
         lock_free[("neg", k)] = end
     record = TxnRecord(
@@ -218,7 +233,8 @@ def _run_protected(
         family=request.family,
         wait_ms=(start_exec - ready) + (negotiation_start - local_end),
         local_ms=service,
-        comm_ms=sync_cost_ms, solver_ms=solver,
+        comm_ms=comm, solver_ms=solver,
+        participants=participants,
     )
     return end, record
 

@@ -102,6 +102,17 @@ class LocalEngine:
     def poke(self, name: str, value: int) -> None:
         self.store.put(name, value)
 
+    def poke_dirty(self, name: str, value: int) -> None:
+        """Non-transactional write that still marks the object dirty.
+
+        Used by post-sync hooks (e.g. delta rebasing) at the object's
+        *owner*: under participant-scoped synchronization the rewrite
+        must be re-broadcast to sites that sat this round out, so it
+        has to survive in the dirty set past the round's checkpoint.
+        """
+        self.store.put(name, value)
+        self.dirty_counts[name] = self.dirty_counts.get(name, 0) + 1
+
     def dirty_objects(self) -> set[str]:
         """Objects committed-to since the last checkpoint."""
         return set(self.dirty_counts)

@@ -38,6 +38,16 @@ class LocalTreaty:
     def holds(self, getobj: Callable[[str], int]) -> bool:
         return all(_evaluate(con, getobj) for con in self.constraints)
 
+    def _object_index(self) -> dict[str, list[LinearConstraint]]:
+        if self._by_object is None:
+            index: dict[str, list[LinearConstraint]] = {}
+            for con in self.constraints:
+                for var in con.variables():
+                    assert isinstance(var, ObjT)
+                    index.setdefault(var.name, []).append(con)
+            self._by_object = index
+        return self._by_object
+
     def holds_after_writes(
         self, getobj: Callable[[str], int], written: set[str]
     ) -> bool:
@@ -48,22 +58,31 @@ class LocalTreaty:
         commit), and a clause's truth value can only change if one of
         its objects was written.
         """
-        if self._by_object is None:
-            index: dict[str, list[LinearConstraint]] = {}
-            for con in self.constraints:
-                for var in con.variables():
-                    assert isinstance(var, ObjT)
-                    index.setdefault(var.name, []).append(con)
-            self._by_object = index
+        return not self.violations_after_writes(getobj, written)
+
+    def violations_after_writes(
+        self, getobj: Callable[[str], int], written: set[str]
+    ) -> set[str]:
+        """Objects of every violated clause touching the written set
+        (empty means the treaty still holds).
+
+        The object set seeds the cleanup phase's participant
+        computation: the violated treaty factors name the sites whose
+        state and treaty pieces the negotiation must involve.
+        """
+        index = self._object_index()
         seen: set[int] = set()
+        violated: set[str] = set()
         for name in written:
-            for con in self._by_object.get(name, ()):
+            for con in index.get(name, ()):
                 if id(con) in seen:
                     continue
                 seen.add(id(con))
                 if not _evaluate(con, getobj):
-                    return False
-        return True
+                    for var in con.variables():
+                        assert isinstance(var, ObjT)
+                        violated.add(var.name)
+        return violated
 
     def violated_clauses(self, getobj: Callable[[str], int]) -> list[LinearConstraint]:
         return [con for con in self.constraints if not _evaluate(con, getobj)]
@@ -90,6 +109,9 @@ class TreatyTable:
     configuration: Configuration
     locals: dict[int, LocalTreaty] = field(default_factory=dict)
     round_number: int = 0
+    #: lazy per-site factor index: object name -> sites whose local
+    #: treaty enforces a clause mentioning it
+    _factor_sites: dict[str, set[int]] | None = None
 
     @classmethod
     def assemble(
@@ -116,6 +138,25 @@ class TreatyTable:
 
     def local_for(self, site: int) -> LocalTreaty:
         return self.locals[site]
+
+    def sites_for_objects(self, names) -> set[int]:
+        """Sites whose installed local treaty has a clause over any of
+        the given objects (the per-site factor index).
+
+        These are exactly the sites whose enforcement depends on the
+        objects, so any negotiation that changes them must include
+        these sites in its participant set.
+        """
+        if self._factor_sites is None:
+            index: dict[str, set[int]] = {}
+            for site, local in self.locals.items():
+                for name in local.objects():
+                    index.setdefault(name, set()).add(site)
+            self._factor_sites = index
+        out: set[int] = set()
+        for name in names:
+            out |= self._factor_sites.get(name, set())
+        return out
 
     def check_local(self, site: int, getobj: Callable[[str], int]) -> bool:
         """The per-commit check a stored procedure performs."""

@@ -7,15 +7,26 @@
 - :mod:`repro.workloads.tpcc` -- the Section 6.2 TPC-C subset:
   New Order / Payment / Delivery encoded in L++ with the Appendix E
   treaty structure.
+- :mod:`repro.workloads.geo` -- a geo-partitioned variant of the
+  microbenchmark: the item space is split into replication groups
+  (site subsets), so treaty negotiations are participant-scoped and
+  priced from the group's own RTT edges.
 - :mod:`repro.workloads.topk` -- the Section 1 top-k aggregation
   example (Figures 1-2).
 - :mod:`repro.workloads.weather` -- the Appendix D examples (top-k of
   minimums; top-k temperature differences).
 """
 
+from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
 from repro.workloads.tpcc import TpccWorkload
 from repro.workloads.topk import TopKWorkload
 from repro.workloads.weather import WeatherWorkload
 
-__all__ = ["MicroWorkload", "TpccWorkload", "TopKWorkload", "WeatherWorkload"]
+__all__ = [
+    "GeoMicroWorkload",
+    "MicroWorkload",
+    "TpccWorkload",
+    "TopKWorkload",
+    "WeatherWorkload",
+]

@@ -114,22 +114,51 @@ class TestSiteServer:
 
 
 class TestMessageStats:
+    """MessageStats is a pure derived view over a message trace."""
+
     def test_sync_round_counts(self):
-        stats = MessageStats()
-        stats.record_sync_round(4)
+        from repro.protocol.messages import SyncBroadcast
+
+        # All-to-all exchange among 4 participants: 4*3 broadcasts.
+        trace = [
+            SyncBroadcast(src=a, dst=b)
+            for a in range(4)
+            for b in range(4)
+            if a != b
+        ]
+        stats = MessageStats.from_trace(trace, negotiations=1)
         assert stats.sync_broadcasts == 12
         assert stats.negotiations == 1
+        assert stats.total() == 12
 
-    def test_treaty_round_free_when_deterministic(self):
-        stats = MessageStats()
-        stats.record_treaty_round(4, deterministic_solver=True)
-        assert stats.treaty_updates == 0
-        stats.record_treaty_round(4, deterministic_solver=False)
-        assert stats.treaty_updates == 3
+    def test_mixed_trace(self):
+        from repro.protocol.messages import (
+            CleanupRun,
+            Decision,
+            Prepare,
+            TreatyInstall,
+            Vote,
+        )
 
-    def test_2pc_rounds(self):
-        stats = MessageStats()
-        stats.record_2pc(3)
+        trace = [
+            Vote(src=0, dst=1),
+            CleanupRun(src=0, dst=1, tx_name="T"),
+            TreatyInstall(src=0, dst=1, round_number=2),
+            Prepare(src=0, dst=1),
+            Prepare(src=0, dst=2),
+            Decision(src=0, dst=1),
+            Decision(src=0, dst=2),
+        ]
+        stats = MessageStats.from_trace(trace)
+        assert stats.vote_messages == 1
+        assert stats.cleanup_messages == 1
+        assert stats.treaty_updates == 1
         assert stats.prepare_messages == 2
         assert stats.decision_messages == 2
-        assert stats.total() == 4
+        assert stats.total() == 7
+
+    def test_unknown_message_rejected(self):
+        from repro.protocol.messages import Message
+
+        with pytest.raises(TypeError):
+            MessageStats.from_trace([Message(src=0, dst=1)])

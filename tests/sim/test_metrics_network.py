@@ -9,6 +9,8 @@ from repro.sim.network import (
     DATACENTERS,
     TABLE1_RTT_MS,
     max_rtt,
+    negotiation_cost_ms,
+    participants_rtt,
     rtt_matrix_for,
     uniform_rtt_matrix,
 )
@@ -70,6 +72,33 @@ class TestNetwork:
     def test_bad_count(self):
         with pytest.raises(ValueError):
             rtt_matrix_for(6)
+
+
+class TestEdgePricing:
+    def test_participants_rtt_uses_subset_edges(self):
+        matrix = rtt_matrix_for(5)
+        assert participants_rtt(matrix, (0, 1)) == 64.0  # UE<->UW
+        assert participants_rtt(matrix, (3, 4)) == 372.0  # SG<->BR
+        assert participants_rtt(matrix, (0, 1, 2)) == 170.0  # UW<->IE
+        assert participants_rtt(matrix, range(5)) == max_rtt(matrix)
+
+    def test_single_participant_pays_diagonal(self):
+        matrix = rtt_matrix_for(5)
+        assert participants_rtt(matrix, (2,)) == 0.5
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            participants_rtt(rtt_matrix_for(3), ())
+
+    def test_negotiation_cost_two_rounds(self):
+        matrix = rtt_matrix_for(5)
+        assert negotiation_cost_ms(matrix, (0, 1), fallback_ms=744.0) == 128.0
+        assert negotiation_cost_ms(matrix, (0, 3), fallback_ms=744.0) == 486.0
+
+    def test_negotiation_cost_fallback(self):
+        matrix = rtt_matrix_for(5)
+        assert negotiation_cost_ms(matrix, (), fallback_ms=744.0) == 744.0
+        assert negotiation_cost_ms(matrix, None, fallback_ms=744.0) == 744.0
 
 
 def _record(start, end, kind, family="", **kw):

@@ -2,15 +2,23 @@
 
 import pytest
 
-from repro.sim.experiments import run_micro, solver_time_model
+from repro.sim.experiments import run_geo, run_micro, solver_time_model
+from repro.sim.network import rtt_matrix_for
 from repro.sim.runner import SimConfig, SimRequest, simulate
 
 
 class _StubCluster:
-    """Deterministic decision source: sync every Nth submission."""
+    """Deterministic decision source: sync every Nth submission.
 
-    def __init__(self, sync_every=0):
+    ``participants`` (when given) is reported on every synced outcome,
+    mimicking a kernel with participant-scoped negotiation; without it
+    the outcome carries no participant info and the simulator must
+    fall back to cluster-wide pricing.
+    """
+
+    def __init__(self, sync_every=0, participants=None):
         self.sync_every = sync_every
+        self.participants = participants
         self.count = 0
 
     def submit(self, tx_name, params):
@@ -22,6 +30,8 @@ class _StubCluster:
 
         out = Outcome()
         out.synced = bool(synced)
+        if self.participants is not None:
+            out.participants = self.participants if synced else ()
         return out
 
 
@@ -94,6 +104,65 @@ class TestTimingModel:
     def test_unknown_mode(self):
         with pytest.raises(ValueError):
             simulate(_config("bogus"), _StubCluster(), _request_fn)
+
+
+class TestPerEdgePricing:
+    """Negotiations are priced from the RTT edges the participants
+    actually use, not the cluster-wide worst edge."""
+
+    def _table1_config(self, **kw):
+        defaults = dict(
+            mode="homeo", num_replicas=5, clients_per_replica=2,
+            rtt_matrix=rtt_matrix_for(5), max_txns=400, seed=3,
+        )
+        defaults.update(kw)
+        return SimConfig(**defaults)
+
+    def test_ue_uw_violation_priced_from_edge(self):
+        """Table 1 regression: a (0, 1) = UE<->UW violation costs
+        2 x 64 = 128 ms, not 2 x 372 = 744 ms."""
+        config = self._table1_config()
+        stub = _StubCluster(sync_every=10, participants=(0, 1))
+        res = simulate(config, stub, _request_fn)
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced
+        for r in synced:
+            assert r.comm_ms == pytest.approx(128.0)
+            assert r.participants == (0, 1)
+
+    def test_flat_fallback_without_participants(self):
+        """Kernels that report no participant set pay the diameter."""
+        config = self._table1_config()
+        stub = _StubCluster(sync_every=10)  # no participants attribute
+        res = simulate(config, stub, _request_fn)
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced
+        for r in synced:
+            assert r.comm_ms == pytest.approx(744.0)
+
+    def test_single_site_negotiation_is_near_free(self):
+        config = self._table1_config()
+        stub = _StubCluster(sync_every=10, participants=(2,))
+        res = simulate(config, stub, _request_fn)
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced
+        for r in synced:
+            assert r.comm_ms == pytest.approx(1.0)  # 2 x the 0.5 diagonal
+
+    def test_run_geo_scopes_and_prices_by_group(self):
+        """End-to-end: the geo workload's (0, 1) group never pays more
+        than its own 64 ms edge unless extra sites join the round."""
+        res = run_geo(
+            "homeo", groups=((0, 1),), num_replicas=5,
+            clients_per_replica=2, max_txns=500, seed=1,
+            config_overrides={"solver_ms": 0.0},
+        )
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced, "expected negotiations"
+        for r in synced:
+            assert r.participants == (0, 1)
+            assert r.comm_ms == pytest.approx(128.0)
+        assert set(res.participant_histogram()) == {2}
 
 
 class TestExperimentRunners:
