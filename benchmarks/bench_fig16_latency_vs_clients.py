@@ -3,6 +3,15 @@
 Paper's shape (Nr = 2, RTT = 100 ms): latency grows with the client
 count through data/CPU contention, but the profile stays dominated by
 the network split -- homeostasis local vs 2PC's 2-RTT floor.
+
+2PC core-accounting note: cores are released while a transaction
+blocks on item locks (identically for committing and aborting
+waiters).  The seed model pinned a core through the whole lock wait
+on the commit path, so at high client counts 2PC's tail latencies
+conflated phantom CPU queueing with the real lock-chain queueing;
+with the fix the client-count saturation knee here comes from locks
+and genuine service demand only, and 2PC's high percentiles at large
+client counts are lower than the seed's.
 """
 
 from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table

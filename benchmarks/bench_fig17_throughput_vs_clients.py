@@ -4,6 +4,12 @@ Paper's shape: throughput scales with the client count until the
 replica's cores saturate (32 vCPUs in the paper; the local curve
 plateaus or dips around that point), while 2PC scales only linearly
 in clients at a ~2-RTT service time, staying far below.
+
+2PC core-accounting note: lock waiters release their core while
+blocked (the seed model held it through the wait on the commit path),
+so 2PC's saturation here is lock-bound, not CPU-bound: its throughput
+at high client counts is slightly higher than the seed's because
+waiting transactions no longer burn server capacity.
 """
 
 from _common import MICRO_ITEMS, MICRO_TXNS, assert_factor, once, print_table

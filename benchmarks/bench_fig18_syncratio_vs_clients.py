@@ -3,6 +3,12 @@
 Paper's shape: the ratio stays in the low single digits across 1-128
 clients (it is governed by stock consumption per item, not by client
 parallelism), with homeostasis tracking OPT.
+
+2PC core-accounting note: the companion latency/throughput figures
+(16/17) changed with the lock-wait core release -- cores are freed
+while a waiter blocks, for commits and aborts alike -- but the sync
+ratio is a protocol-kernel quantity and is unaffected by the CPU
+model; this figure matches the seed.
 """
 
 from _common import MICRO_ITEMS, MICRO_TXNS, once, print_table

@@ -17,6 +17,9 @@
 - :mod:`repro.protocol.homeostasis` -- the coordinator implementing
   the round lifecycle (treaty generation, normal execution,
   participant-scoped cleanup);
+- :mod:`repro.protocol.concurrent` -- the concurrent cleanup runtime:
+  windows of interleaved submissions, racing violators resolved by a
+  real vote phase, and parallel negotiations over disjoint closures;
 - :mod:`repro.protocol.baselines` -- LOCAL, 2PC and OPT
   (demarcation-style) execution modes from Section 6.
 """
@@ -30,6 +33,7 @@ from repro.protocol.messages import (
     SyncBroadcast,
     TreatyInstall,
     Vote,
+    VoteReply,
 )
 from repro.protocol.transport import NegotiationTrace, Transport, TransportError
 from repro.protocol.catalog import StoredProcedure, StoredProcedureCatalog
@@ -41,12 +45,20 @@ from repro.protocol.homeostasis import (
     SyncRound,
     TreatyStrategy,
 )
+from repro.protocol.concurrent import (
+    ConcurrentCluster,
+    GroupOutcome,
+    WindowOutcome,
+    WindowResult,
+)
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
 
 __all__ = [
     "CleanupRun",
     "ClusterResult",
+    "ConcurrentCluster",
     "Decision",
+    "GroupOutcome",
     "HomeostasisCluster",
     "LocalCluster",
     "Message",
@@ -66,5 +78,8 @@ __all__ = [
     "TreatyStrategy",
     "TwoPhaseCommitCluster",
     "Vote",
+    "VoteReply",
+    "WindowOutcome",
+    "WindowResult",
     "transform_for_site",
 ]

@@ -1,0 +1,372 @@
+"""The concurrent cleanup runtime: racing violators and a real vote.
+
+:meth:`HomeostasisCluster.submit` runs one transaction at a time, so
+a treaty violation is always unopposed and the Section 3.3 vote is a
+trivial broadcast.  :class:`ConcurrentCluster` accepts a *window* of
+interleaved submissions from multiple origin sites, which makes the
+cleanup phase's election real:
+
+1. **optimistic execution** -- every transaction in the window runs
+   disconnected at its origin site; commits are final, violators
+   abort and become *contenders* (several can violate in the same
+   window, on the same or on overlapping objects);
+2. **conflict grouping** -- each contender's participant closure is
+   computed (same fixpoint as the sequential path); contenders whose
+   closures overlap are merged into one conflict group, because their
+   negotiations would touch common sites and cannot proceed
+   independently;
+3. **vote phase** -- inside each group the contenders exchange
+   :class:`~repro.protocol.messages.Vote` messages carrying their
+   ``(timestamp, site, txn_seq)`` priority tuples; the lowest tuple
+   wins deterministically, every loser concedes with a
+   :class:`~repro.protocol.messages.VoteReply`, and the winner
+   announces itself to the non-contender participants of its closure
+   (this is the winner-election that Consensus on Transaction Commit
+   frames as the degenerate single-coordinator case);
+4. **parallel negotiations** -- the winners of *disjoint* groups run
+   their cleanup rounds concurrently: their transport contexts are
+   all opened before any closes, and the sync / re-run / install
+   phases are interleaved message-by-message (the trace's
+   ``opened_at``/``closed_at`` stamps prove the rounds overlap);
+5. **losers re-run** -- after the wave's treaties install, every
+   loser re-executes from scratch; it either commits under the new
+   treaties or contends again in the next wave (keeping its original
+   timestamp, so seniority is preserved).
+
+Every step iterates in sorted deterministic order, so two runs over
+the same window produce identical traces and states -- the seeded
+arbitration order the simulator's determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.protocol.homeostasis import HomeostasisCluster, ProtocolError
+from repro.protocol.messages import Vote, VoteReply
+from repro.protocol.site import SiteResult
+
+
+@dataclass
+class WindowOutcome:
+    """What the client observes for one transaction of a window."""
+
+    index: int  # position in the submitted window
+    tx_name: str
+    log: tuple[int, ...] = ()
+    site: int = -1
+    synced: bool = False
+    #: sites of the negotiation this transaction won (empty otherwise)
+    participants: tuple[int, ...] = ()
+    #: wave whose negotiation this transaction won (-1: never won one)
+    wave: int = -1
+    #: elections this transaction lost before completing
+    lost_votes: int = 0
+    #: global commit order within the window (serial-equivalence order)
+    commit_seq: int = -1
+    #: transport-trace index of the won negotiation (-1 otherwise)
+    negotiation_index: int = -1
+
+
+@dataclass
+class GroupOutcome:
+    """One conflict group's resolved election."""
+
+    wave: int
+    winner: int  # request index
+    losers: tuple[int, ...]  # request indices
+    #: origin sites of every contender (the electorate)
+    contender_sites: tuple[int, ...]
+    #: participant set of the winner's negotiation
+    participants: tuple[int, ...]
+    #: merged closure scope the transport round was opened with
+    scope: tuple[int, ...]
+    negotiation_index: int
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return (self.winner,) + self.losers
+
+
+@dataclass
+class WindowResult:
+    """Everything one window of interleaved submissions produced."""
+
+    outcomes: list[WindowOutcome]
+    #: wave -> conflict groups resolved in that wave (groups within a
+    #: wave have disjoint scopes and ran their negotiations in parallel)
+    waves: list[list[GroupOutcome]] = field(default_factory=list)
+    #: request indices in the order their effects committed (the
+    #: serial-equivalent execution order of the window)
+    commit_order: list[int] = field(default_factory=list)
+
+    @property
+    def contended(self) -> bool:
+        return any(len(g.members) > 1 for wave in self.waves for g in wave)
+
+
+@dataclass
+class _Contender:
+    """A violator awaiting election."""
+
+    index: int
+    tx_name: str
+    params: Mapping[str, int] | None
+    origin: int
+    timestamp: int
+    txn_seq: int
+    participants: set[int] = field(default_factory=set)
+    affected: set[str] = field(default_factory=set)
+
+    @property
+    def priority(self) -> tuple[int, int, int]:
+        return (self.timestamp, self.origin, self.txn_seq)
+
+
+class ConcurrentCluster(HomeostasisCluster):
+    """A homeostasis cluster whose kernel accepts interleaved
+    submissions and resolves racing violators with a real vote phase.
+
+    ``submit`` (inherited) still runs single transactions; windows go
+    through :meth:`submit_window`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._txn_seq = itertools.count()
+
+    # -- window machinery ----------------------------------------------------------
+
+    def _execute_round(
+        self, entries: list[_Contender]
+    ) -> tuple[list[tuple[_Contender, tuple[int, ...]]], list[tuple[_Contender, SiteResult]]]:
+        """Optimistically execute the entries at their origin sites in
+        window order; return (committed, violators)."""
+        committed: list[tuple[_Contender, tuple[int, ...]]] = []
+        violators: list[tuple[_Contender, SiteResult]] = []
+        for entry in entries:
+            result = self.sites[entry.origin].execute(entry.tx_name, entry.params)
+            if result.committed:
+                committed.append((entry, result.log))
+            else:
+                violators.append((entry, result))
+        return committed, violators
+
+    def _conflict_groups(
+        self, contenders: list[tuple[_Contender, SiteResult]]
+    ) -> list[list[_Contender]]:
+        """Partition contenders into groups of transitively-overlapping
+        participant closures (disjoint groups negotiate in parallel)."""
+        entries: list[_Contender] = []
+        for entry, result in contenders:
+            server = self.sites[entry.origin]
+            seed = self._violation_seed(server, result)
+            participants, closure = self._participants_for(entry.origin, seed)
+            entry.participants = participants
+            entry.affected = self.generator.objects_touching(closure) | closure
+            entries.append(entry)
+        groups: list[list[_Contender]] = []
+        scopes: list[set[int]] = []
+        for entry in entries:
+            hits = [
+                i for i, scope in enumerate(scopes) if scope & entry.participants
+            ]
+            if not hits:
+                groups.append([entry])
+                scopes.append(set(entry.participants))
+                continue
+            # Merge every overlapped group (the entry bridges them).
+            target = hits[0]
+            groups[target].append(entry)
+            scopes[target] |= entry.participants
+            for i in reversed(hits[1:]):
+                groups[target].extend(groups.pop(i))
+                scopes[target] |= scopes.pop(i)
+        for group in groups:
+            group.sort(key=lambda c: c.priority)
+        groups.sort(key=lambda g: g[0].priority)
+        return groups
+
+    def _vote_phase(self, group: list[_Contender]) -> None:
+        """Contenders exchange votes; losers concede to the winner.
+
+        The winner is the lowest ``(timestamp, site, txn_seq)`` tuple;
+        every contender computes it independently from the exchanged
+        votes, so arbitration needs no extra coordinator.
+        """
+        winner = group[0]  # groups are priority-sorted
+        if len(group) > 1:
+            # Co-located contenders arbitrate site-locally for free;
+            # only cross-site claims and concessions hit the wire.
+            for voter in group:
+                for other in group:
+                    if other is voter or other.origin == voter.origin:
+                        continue
+                    self.transport.send(
+                        Vote(
+                            src=voter.origin,
+                            dst=other.origin,
+                            tx_name=voter.tx_name,
+                            timestamp=voter.timestamp,
+                            txn_seq=voter.txn_seq,
+                        )
+                    )
+            for loser in group[1:]:
+                if loser.origin == winner.origin:
+                    continue
+                self.transport.send(
+                    VoteReply(
+                        src=loser.origin,
+                        dst=winner.origin,
+                        winner_site=winner.origin,
+                        winner_txn=winner.txn_seq,
+                    )
+                )
+        # The winner announces T' to its non-contender participants.
+        electorate = {c.origin for c in group}
+        announce = set(winner.participants) - electorate
+        self._announce_winner(
+            winner.origin,
+            winner.tx_name,
+            announce | {winner.origin},
+            timestamp=winner.timestamp,
+            txn_seq=winner.txn_seq,
+        )
+
+    def submit_window(
+        self,
+        requests: Sequence[tuple[str, Mapping[str, int] | None]],
+        timestamps: Sequence[int] | None = None,
+    ) -> WindowResult:
+        """Run a window of interleaved transactions to completion.
+
+        ``timestamps`` are the arrival stamps feeding vote priorities;
+        by default every transaction in the window raced in at stamp 0,
+        so elections fall through to the (site, txn_seq) tiebreaks.
+        """
+        if timestamps is None:
+            timestamps = [0] * len(requests)
+        if len(timestamps) != len(requests):
+            raise ProtocolError("one timestamp per windowed request")
+        entries: list[_Contender] = []
+        for index, (tx_name, params) in enumerate(requests):
+            if tx_name not in self.tx_home:
+                raise ProtocolError(f"unknown transaction {tx_name!r}")
+            self.stats.submitted += 1
+            entries.append(
+                _Contender(
+                    index=index,
+                    tx_name=tx_name,
+                    params=params,
+                    origin=self.tx_home[tx_name],
+                    timestamp=timestamps[index],
+                    txn_seq=next(self._txn_seq),
+                )
+            )
+
+        outcomes = [
+            WindowOutcome(index=e.index, tx_name=e.tx_name, site=e.origin)
+            for e in entries
+        ]
+        result = WindowResult(outcomes=outcomes)
+        commit_seq = itertools.count()
+        pending = entries
+        wave = 0
+        while pending:
+            if wave > len(requests) + 1:
+                raise ProtocolError(
+                    "window did not quiesce: livelocked elections"
+                )
+            committed, violators = self._execute_round(pending)
+            for entry, log in committed:
+                self.stats.committed_local += 1
+                out = outcomes[entry.index]
+                out.log = log
+                out.commit_seq = next(commit_seq)
+                result.commit_order.append(entry.index)
+            if not violators:
+                break
+            groups = self._conflict_groups(violators)
+            group_traces = []
+            # Open every group's round before any closes: disjoint
+            # closures negotiate in parallel, and the transport rejects
+            # the wave outright if the scopes were not disjoint.
+            for group in groups:
+                winner = group[0]
+                scope = frozenset().union(*(c.participants for c in group))
+                trace = self.transport.begin(
+                    "cleanup", winner.origin, scope=scope, wave=wave
+                )
+                group_traces.append((group, trace))
+            for group, _trace in group_traces:
+                self._vote_phase(group)
+            synced_state = []
+            for group, _trace in group_traces:
+                winner = group[0]
+                _updates, dirty = self._synchronize(
+                    winner.participants, affected=winner.affected
+                )
+                synced_state.append(dirty)
+            executed = []
+            for (group, _trace), dirty in zip(group_traces, synced_state):
+                winner = group[0]
+                reference, written = self._cleanup_execute(
+                    winner.origin, winner.tx_name, winner.params, winner.participants
+                )
+                executed.append((reference, written, dirty))
+            # Closure coverage is checked against the pre-wave treaty
+            # table, before any group installs its replacement.
+            for (group, _trace), (_ref, written, _dirty) in zip(
+                group_traces, executed
+            ):
+                winner = group[0]
+                self._check_closure_covered(
+                    winner.tx_name, written, winner.participants
+                )
+            for (group, _trace), (_ref, written, dirty) in zip(
+                group_traces, executed
+            ):
+                winner = group[0]
+                self._install_new_treaty(
+                    dirty=dirty | written,
+                    participants=winner.participants,
+                    origin=winner.origin,
+                )
+            for _group, trace in group_traces:
+                self.transport.end(trace)
+
+            losers: list[_Contender] = []
+            wave_groups: list[GroupOutcome] = []
+            for (group, trace), (reference, _written, _dirty) in zip(
+                group_traces, executed
+            ):
+                winner = group[0]
+                self.stats.negotiations += 1
+                out = outcomes[winner.index]
+                out.log = reference
+                out.synced = True
+                out.participants = tuple(sorted(winner.participants))
+                out.wave = wave
+                out.commit_seq = next(commit_seq)
+                out.negotiation_index = trace.index
+                result.commit_order.append(winner.index)
+                for loser in group[1:]:
+                    outcomes[loser.index].lost_votes += 1
+                    losers.append(loser)
+                wave_groups.append(
+                    GroupOutcome(
+                        wave=wave,
+                        winner=winner.index,
+                        losers=tuple(c.index for c in group[1:]),
+                        contender_sites=tuple(sorted({c.origin for c in group})),
+                        participants=tuple(sorted(winner.participants)),
+                        scope=tuple(sorted(trace.scope or ())),
+                        negotiation_index=trace.index,
+                    )
+                )
+            result.waves.append(wave_groups)
+            pending = sorted(losers, key=lambda c: c.index)
+            wave += 1
+        return result

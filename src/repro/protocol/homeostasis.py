@@ -12,19 +12,24 @@ Rounds have three phases:
 - **normal execution**: sites run stored procedures disconnected;
   each commit checks only the site's local treaty;
 
-- **cleanup**: on a violation, the aborted transaction T' wins the
-  vote (the kernel is sequential, so there is exactly one violator;
-  the simulator serializes racing violators and re-runs losers), the
-  *participant set* of the violation is computed -- the fixpoint
-  closure of the dirty objects' owners, the sites named in the
-  affected treaty factors, and the homes/owners of every treaty
+- **cleanup**: on a violation, the aborted transaction T' stands for
+  election: racing violators exchange :class:`Vote` messages and the
+  lowest ``(timestamp, site, txn)`` priority tuple wins (with a single
+  violator -- the only case :meth:`HomeostasisCluster.submit` can
+  produce -- the election is trivial; the concurrent runtime in
+  :mod:`repro.protocol.concurrent` produces real contenders).  The
+  *participant set* of the winner's violation is computed -- the
+  fixpoint closure of the dirty objects' owners, the sites named in
+  the affected treaty factors, and the homes/owners of every treaty
   instance depending on those objects -- the participants broadcast
   their dirty owned objects to each other, T' is executed in full at
-  every participant, and a new round begins.  Sites outside the
-  closure keep their state and treaties untouched (the incremental
-  generator guarantees their pieces are unchanged), which is the
-  coordination-avoidance lever: a violation between two nearby sites
-  never involves, or waits for, the far side of the cluster.
+  every participant, and a new round begins; losers abort and re-run
+  under the new treaties.  Sites outside the closure keep their state
+  and treaties untouched (the incremental generator guarantees their
+  pieces are unchanged), which is the coordination-avoidance lever: a
+  violation between two nearby sites never involves, or waits for,
+  the far side of the cluster -- and negotiations over disjoint
+  closures proceed in parallel.
 
 The kernel is synchronous -- it performs the real state changes and
 sends every message a distributed deployment would send through a
@@ -633,6 +638,98 @@ class HomeostasisCluster:
                         f"has {ref.get(name, 0)}"
                     )
 
+    # -- cleanup-phase building blocks --------------------------------------------
+    #
+    # The cleanup round decomposes into phases so the sequential path
+    # below and the concurrent runtime (repro.protocol.concurrent) can
+    # share them: the concurrent driver interleaves the phases of
+    # disjoint-closure negotiations instead of running each round
+    # start-to-finish.
+
+    def _violation_seed(self, server: SiteServer, result: SiteResult) -> set[str]:
+        """Seed of the participant closure: the violated treaty
+        factors, everything the aborted attempt tried to write (T'
+        re-runs after sync and its write set must be covered), and the
+        origin's accumulated dirty set."""
+        return (
+            set(result.violated_objects)
+            | set(result.attempted_writes)
+            | set(server.dirty_owned_values())
+        )
+
+    def _announce_winner(
+        self,
+        origin: int,
+        tx_name: str,
+        participants: set[int],
+        timestamp: int = 0,
+        txn_seq: int = 0,
+    ) -> None:
+        """The winning violator announces itself to the participants
+        of its negotiation (the trivial election when unopposed)."""
+        for sid in sorted(participants):
+            if sid != origin:
+                self.transport.send(
+                    Vote(
+                        src=origin,
+                        dst=sid,
+                        tx_name=tx_name,
+                        timestamp=timestamp,
+                        txn_seq=txn_seq,
+                    )
+                )
+
+    def _cleanup_execute(
+        self,
+        origin: int,
+        tx_name: str,
+        params: Mapping[str, int] | None,
+        participants: set[int],
+    ) -> tuple[tuple[int, ...], set[str]]:
+        """Run T' in full at every participant; cross-check the logs
+        agree and return (reference log, union of written objects)."""
+        params_payload = tuple(sorted((params or {}).items()))
+        logs: dict[int, tuple[int, ...]] = {}
+        written_union: set[str] = set()
+        for sid in sorted(participants):
+            if sid == origin:
+                log, written = self.sites[origin].run_cleanup_transaction(
+                    tx_name, params
+                )
+            else:
+                log, written = self.transport.send(
+                    CleanupRun(
+                        src=origin,
+                        dst=sid,
+                        tx_name=tx_name,
+                        params=params_payload,
+                    )
+                )
+            logs[sid] = log
+            written_union |= written
+        reference = logs[origin]
+        if any(log != reference for log in logs.values()):
+            raise ProtocolError(f"cleanup runs of {tx_name} diverged: {logs}")
+        return reference, written_union
+
+    def _check_closure_covered(
+        self, tx_name: str, written_union: set[str], participants: set[int]
+    ) -> None:
+        """The closure was computed before T' ran; verify its
+        overapproximation covered everything T' actually wrote (owners
+        of written objects and sites whose treaty factors depend on
+        them must all have participated).  Must run against the
+        *pre-install* treaty table."""
+        needed = self.generator.sites_touching(written_union)
+        needed |= {self.locate(name) for name in written_union}
+        needed |= self.treaty_table.sites_for_objects(written_union)
+        uncovered = (needed & set(self.site_ids)) - participants
+        if uncovered:
+            raise ProtocolError(
+                f"cleanup of {tx_name} wrote objects involving "
+                f"non-participant sites {sorted(uncovered)}"
+            )
+
     # -- client API ---------------------------------------------------------------
 
     def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
@@ -650,59 +747,22 @@ class HomeostasisCluster:
                 log=result.log, site=origin, synced=False, row_index=result.row_index
             )
 
-        # Cleanup phase: T' was aborted; it wins the (trivial) vote.
-        # The round is scoped to the participant closure of the
-        # violation -- untouched sites neither hear about it nor
-        # change state, and their installed treaties stay valid.
+        # Cleanup phase: T' was aborted; submit() is one-at-a-time so
+        # it wins the election unopposed.  The round is scoped to the
+        # participant closure of the violation -- untouched sites
+        # neither hear about it nor change state, and their installed
+        # treaties stay valid.
         self.stats.negotiations += 1
-        # Seed: the violated treaty factors, everything the aborted
-        # attempt tried to write (T' re-runs after sync and its write
-        # set must be covered), and the origin's accumulated dirty set.
-        seed = (
-            set(result.violated_objects)
-            | set(result.attempted_writes)
-            | set(server.dirty_owned_values())
-        )
+        seed = self._violation_seed(server, result)
         participants, closure = self._participants_for(origin, seed)
         affected = self.generator.objects_touching(closure) | closure
         with self.transport.negotiation("cleanup", origin):
-            for sid in sorted(participants):
-                if sid != origin:
-                    self.transport.send(Vote(src=origin, dst=sid, tx_name=tx_name))
+            self._announce_winner(origin, tx_name, participants)
             updates, dirty = self._synchronize(participants, affected=affected)
-            params_payload = tuple(sorted((params or {}).items()))
-            logs: dict[int, tuple[int, ...]] = {}
-            written_union: set[str] = set()
-            for sid in sorted(participants):
-                if sid == origin:
-                    log, written = server.run_cleanup_transaction(tx_name, params)
-                else:
-                    log, written = self.transport.send(
-                        CleanupRun(
-                            src=origin,
-                            dst=sid,
-                            tx_name=tx_name,
-                            params=params_payload,
-                        )
-                    )
-                logs[sid] = log
-                written_union |= written
-            reference = logs[origin]
-            if any(log != reference for log in logs.values()):
-                raise ProtocolError(f"cleanup runs of {tx_name} diverged: {logs}")
-            # The closure was computed before T' ran; verify its
-            # overapproximation covered everything T' actually wrote
-            # (owners of written objects and sites whose treaty
-            # factors depend on them must all have participated).
-            needed = self.generator.sites_touching(written_union)
-            needed |= {self.locate(name) for name in written_union}
-            needed |= self.treaty_table.sites_for_objects(written_union)
-            uncovered = (needed & set(self.site_ids)) - participants
-            if uncovered:
-                raise ProtocolError(
-                    f"cleanup of {tx_name} wrote objects involving "
-                    f"non-participant sites {sorted(uncovered)}"
-                )
+            reference, written_union = self._cleanup_execute(
+                origin, tx_name, params, participants
+            )
+            self._check_closure_covered(tx_name, written_union, participants)
             # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
             # objects whose deltas were already dirty, and those factors
             # are recomputed anyway, so dirty | written covers everything.

@@ -18,6 +18,14 @@ shrinks to the participant set of the violation: a cleanup round over
 ``p-1`` votes and ``p-1`` cleanup-run instructions -- independent of
 the cluster size.
 
+When several transactions violate treaties in the same window (the
+concurrent runtime), the vote phase is real: each racing violator
+broadcasts its :class:`Vote` -- carrying its ``(timestamp, site,
+txn_seq)`` priority tuple -- to every other contender, the lowest
+tuple wins deterministically, and each loser concedes with a
+:class:`VoteReply` before aborting and re-running after the winner's
+negotiation installs new treaties.
+
 :class:`MessageStats` is a *derived view* over a transport trace, not
 a set of live counters: the kernel never increments anything by hand,
 it just sends messages.
@@ -67,9 +75,32 @@ class TreatyInstall(Message):
 
 @dataclass(frozen=True)
 class Vote(Message):
-    """Violation-winner election message for the cleanup phase."""
+    """Violation-winner election message for the cleanup phase.
+
+    ``(timestamp, src, txn_seq)`` is the sender's priority tuple;
+    among racing violators the lowest tuple wins.  A winner also
+    broadcasts its Vote to the non-contender participants of its
+    negotiation, announcing which transaction the round re-runs.
+    """
 
     tx_name: str = ""
+    #: arrival timestamp of the violating transaction (window order)
+    timestamp: int = 0
+    #: cluster-wide transaction sequence number (final tiebreak)
+    txn_seq: int = 0
+
+
+@dataclass(frozen=True)
+class VoteReply(Message):
+    """Arbitration reply: a losing contender concedes the election to
+    the winner (it will abort and re-run after the winner's
+    negotiation installs new treaties).  A concession is never
+    withheld -- the election is a deterministic function of the
+    exchanged priority tuples, so every contender computes the same
+    winner."""
+
+    winner_site: int = -1
+    winner_txn: int = -1
 
 
 @dataclass(frozen=True)
@@ -108,6 +139,7 @@ class MessageStats:
     sync_broadcasts: int = 0  # state-synchronization messages
     treaty_updates: int = 0  # new-treaty propagation messages
     vote_messages: int = 0  # violation-winner election messages
+    vote_replies: int = 0  # arbitration concessions from losing contenders
     cleanup_messages: int = 0  # cleanup-run (re-execute T') messages
     prepare_messages: int = 0  # 2PC phase-one messages
     decision_messages: int = 0  # 2PC phase-two messages
@@ -117,6 +149,7 @@ class MessageStats:
         SyncBroadcast: "sync_broadcasts",
         TreatyInstall: "treaty_updates",
         Vote: "vote_messages",
+        VoteReply: "vote_replies",
         CleanupRun: "cleanup_messages",
         Prepare: "prepare_messages",
         Decision: "decision_messages",
@@ -127,6 +160,7 @@ class MessageStats:
             self.sync_broadcasts
             + self.treaty_updates
             + self.vote_messages
+            + self.vote_replies
             + self.cleanup_messages
             + self.prepare_messages
             + self.decision_messages

@@ -27,6 +27,7 @@ from repro.protocol.messages import (
     SyncBroadcast,
     TreatyInstall,
     Vote,
+    VoteReply,
 )
 from repro.storage.engine import LocalEngine
 from repro.treaty.table import LocalTreaty
@@ -145,7 +146,9 @@ class SiteServer:
           update set into this site's store (snapshots for remote
           objects, no-ops for owned ones);
         - ``TreatyInstall`` installs the shipped local treaty;
-        - ``Vote`` acknowledges the violation-winner election;
+        - ``Vote`` acknowledges a contender's priority claim in the
+          violation-winner election;
+        - ``VoteReply`` records a losing contender's concession;
         - ``CleanupRun`` executes T' in full and replies with the
           (log, written) pair the coordinator cross-checks.
         """
@@ -158,6 +161,8 @@ class SiteServer:
             self.install_treaty(msg.treaty)
             return None
         if isinstance(msg, Vote):
+            return True
+        if isinstance(msg, VoteReply):
             return True
         if isinstance(msg, CleanupRun):
             return self.run_cleanup_transaction(msg.tx_name, dict(msg.params))

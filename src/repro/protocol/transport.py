@@ -18,6 +18,17 @@ with its source and destination, so
 Messages sent inside a :meth:`Transport.negotiation` context are
 additionally grouped into a :class:`NegotiationTrace`, which exposes
 the participant set and undirected edge set of that round.
+
+Negotiations over **disjoint participant closures** may be open
+concurrently (:meth:`Transport.begin` with a ``scope``): the runtime
+interleaves their messages, each message is attributed to the open
+context whose scope contains its source, and every trace records the
+global event counter at open and close time -- overlapping
+``(opened_at, closed_at)`` intervals are the proof that two rounds
+did *not* serialize against each other.  Opening a context whose
+scope intersects an already-open one raises: overlapping closures
+must race through the vote phase instead, and only the winner's
+negotiation runs.
 """
 
 from __future__ import annotations
@@ -53,6 +64,15 @@ class NegotiationTrace:
     kind: str  # 'cleanup' | 'sync' | '2pc'
     origin: int
     messages: list[Message] = field(default_factory=list)
+    #: declared participant scope (None for exclusive rounds, which
+    #: own the whole transport while open)
+    scope: frozenset[int] | None = None
+    #: global event-counter stamps; two rounds with overlapping
+    #: [opened_at, closed_at] intervals ran concurrently
+    opened_at: int = -1
+    closed_at: int = -1
+    #: concurrent wave this round ran in (-1 for exclusive rounds)
+    wave: int = -1
 
     @property
     def participants(self) -> tuple[int, ...]:
@@ -73,6 +93,13 @@ class NegotiationTrace:
     def sync_message_count(self) -> int:
         return sum(1 for m in self.messages if isinstance(m, SyncBroadcast))
 
+    def overlaps(self, other: "NegotiationTrace") -> bool:
+        """Did this round's open interval overlap ``other``'s (i.e.
+        did the two rounds proceed in parallel)?"""
+        if min(self.opened_at, self.closed_at, other.opened_at, other.closed_at) < 0:
+            return False
+        return self.opened_at < other.closed_at and other.opened_at < self.closed_at
+
 
 @dataclass
 class Transport:
@@ -81,37 +108,126 @@ class Transport:
     endpoints: dict[int, Endpoint] = field(default_factory=dict)
     trace: list[Message] = field(default_factory=list)
     negotiations: list[NegotiationTrace] = field(default_factory=list)
-    _active: NegotiationTrace | None = None
+    _open: list[NegotiationTrace] = field(default_factory=list)
+    #: monotone event counter: bumped on every open, send, and close
+    _events: int = 0
+    _next_index: int = 0
 
     def register(self, site_id: int, endpoint: Endpoint) -> None:
         if site_id in self.endpoints:
             raise TransportError(f"site {site_id} already registered")
         self.endpoints[site_id] = endpoint
 
+    def _attribute(self, msg: Message) -> NegotiationTrace | None:
+        """The open context this message belongs to.
+
+        With one open context everything belongs to it; with several
+        (concurrent disjoint rounds), attribution is by the sender's
+        membership in the declared scope -- unambiguous because open
+        scopes never intersect.
+        """
+        if not self._open:
+            return None
+        if len(self._open) == 1:
+            owner = self._open[0]
+        else:
+            owners = [
+                t for t in self._open if t.scope is not None and msg.src in t.scope
+            ]
+            if len(owners) != 1:
+                raise TransportError(
+                    f"cannot attribute message from site {msg.src} to an open "
+                    f"negotiation: {len(owners)} candidate scopes"
+                )
+            owner = owners[0]
+        if owner.scope is not None:
+            # Isolation holds on both endpoints: a scoped round must
+            # neither accept out-of-scope senders nor leak messages to
+            # sites outside its closure.
+            outside = {msg.src, msg.dst} - owner.scope
+            if outside:
+                raise TransportError(
+                    f"message {msg.src}->{msg.dst} crosses the open "
+                    f"negotiation's scope {sorted(owner.scope)}"
+                )
+        return owner
+
     def send(self, msg: Message) -> Any:
         """Record the message and deliver it to the destination."""
         endpoint = self.endpoints.get(msg.dst)
         if endpoint is None:
             raise TransportError(f"no endpoint registered for site {msg.dst}")
+        self._events += 1
         self.trace.append(msg)
-        if self._active is not None:
-            self._active.messages.append(msg)
+        active = self._attribute(msg)
+        if active is not None:
+            active.messages.append(msg)
         return endpoint.handle(msg)
+
+    # -- negotiation contexts ------------------------------------------------------
+
+    def begin(
+        self,
+        kind: str,
+        origin: int,
+        scope: frozenset[int] | None = None,
+        wave: int = -1,
+    ) -> NegotiationTrace:
+        """Open a negotiation context.
+
+        Without a ``scope`` the round is *exclusive*: no other context
+        may be open (the seed behaviour -- "negotiation rounds do not
+        nest").  With a ``scope`` the round is *concurrent*: other
+        scoped rounds may already be open, provided every open scope
+        is disjoint from the new one.
+        """
+        if scope is None:
+            if self._open:
+                raise TransportError("negotiation rounds do not nest")
+        else:
+            for other in self._open:
+                if other.scope is None:
+                    raise TransportError(
+                        "cannot open a scoped round inside an exclusive one"
+                    )
+                common = other.scope & scope
+                if common:
+                    raise TransportError(
+                        f"concurrent negotiations overlap on sites "
+                        f"{sorted(common)}: rounds over intersecting "
+                        "closures must vote, not run in parallel"
+                    )
+        self._events += 1
+        trace = NegotiationTrace(
+            index=self._next_index,
+            kind=kind,
+            origin=origin,
+            scope=scope,
+            opened_at=self._events,
+            wave=wave,
+        )
+        self._next_index += 1
+        self._open.append(trace)
+        return trace
+
+    def end(self, trace: NegotiationTrace) -> None:
+        """Close an open negotiation context."""
+        if trace not in self._open:
+            raise TransportError("ending a negotiation that is not open")
+        self._events += 1
+        trace.closed_at = self._events
+        self._open.remove(trace)
+        self.negotiations.append(trace)
 
     @contextmanager
     def negotiation(self, kind: str, origin: int) -> Iterator[NegotiationTrace]:
-        """Group the messages of one round under a shared trace entry."""
-        if self._active is not None:
-            raise TransportError("negotiation rounds do not nest")
-        trace = NegotiationTrace(
-            index=len(self.negotiations), kind=kind, origin=origin
-        )
-        self._active = trace
+        """Group the messages of one exclusive round under a shared
+        trace entry."""
+        trace = self.begin(kind, origin)
         try:
             yield trace
         finally:
-            self._active = None
-            self.negotiations.append(trace)
+            self.end(trace)
 
     # -- derived views ------------------------------------------------------------
 
@@ -122,3 +238,6 @@ class Transport:
 
     def last_negotiation(self) -> NegotiationTrace | None:
         return self.negotiations[-1] if self.negotiations else None
+
+    def cleanup_rounds(self) -> list[NegotiationTrace]:
+        return [n for n in self.negotiations if n.kind == "cleanup"]

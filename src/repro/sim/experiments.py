@@ -154,6 +154,90 @@ def run_geo(
     return simulate(config, cluster, request_fn)
 
 
+def run_contention(
+    mode: str = "homeo",
+    rtt_ms: float = 100.0,
+    num_replicas: int = 2,
+    clients_per_replica: int = 8,
+    num_items: int = 20,
+    refill: int = 40,
+    window_ms: float = 10.0,
+    groups: tuple[tuple[int, ...], ...] | None = None,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    max_txns: int = 2_000,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One racing-violator point under the concurrent runtime.
+
+    Submissions are batched into ``window_ms`` arrival windows and
+    handed to a :class:`~repro.protocol.concurrent.ConcurrentCluster`,
+    so several transactions can violate treaties in the same window:
+    the kernel's vote phase elects each conflict group's winner and
+    losers re-run after the new treaties install.  Contention is
+    swept by shrinking ``num_items`` (hotter items -> more racing
+    violators) or widening ``window_ms``.  With ``groups`` given the
+    item space is geo-partitioned (Table 1 RTTs) and disjoint groups'
+    negotiations proceed in parallel waves.
+    """
+    if mode not in _STRATEGY_FOR_MODE:
+        raise ValueError(f"contention experiment supports homeo/opt, not {mode!r}")
+    strategy = _STRATEGY_FOR_MODE[mode]
+    if groups is not None:
+        workload = GeoMicroWorkload(
+            groups=groups,
+            num_sites=num_replicas,
+            items_per_group=num_items,
+            refill=refill,
+            initial_qty="random",  # start at steady state
+            init_seed=seed + 1,
+        )
+        cluster = workload.build_concurrent(
+            strategy=strategy, lookahead=lookahead, cost_factor=cost_factor,
+            seed=seed,
+        )
+        network = {"rtt_matrix": rtt_matrix_for(num_replicas)}
+
+        def request_fn(rng, replica: int) -> SimRequest:
+            req = workload.next_request(rng, site=replica)
+            return SimRequest(
+                req.tx_name, req.params, req.items, family=f"Buy{req.group}"
+            )
+
+    else:
+        workload = MicroWorkload(
+            num_items=num_items,
+            refill=refill,
+            num_sites=num_replicas,
+            initial_qty="random",
+            init_seed=seed + 1,
+        )
+        cluster = workload.build_concurrent(
+            strategy=strategy, lookahead=lookahead, cost_factor=cost_factor,
+            seed=seed,
+        )
+        network = {"rtt_ms": rtt_ms}
+
+        def request_fn(rng, replica: int) -> SimRequest:
+            req = workload.next_request(rng, site=replica)
+            return SimRequest(req.tx_name, req.params, req.items, family="Buy")
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        window_ms=window_ms,
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+        **network,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
 def build_tpcc_cluster(workload: TpccWorkload, mode: str, lookahead: int,
                        cost_factor: int, seed: int):
     if mode in _STRATEGY_FOR_MODE:

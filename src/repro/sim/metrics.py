@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,10 +37,16 @@ class TxnRecord:
     local_ms: float = 0.0
     comm_ms: float = 0.0
     solver_ms: float = 0.0
+    #: vote-exchange round trip among racing violators (concurrent
+    #: runtime only; 0 for unopposed negotiations)
+    vote_ms: float = 0.0
     retries: int = 0
     #: sites the negotiation involved (empty for local commits or
     #: kernels that do not report participant-scoped rounds)
     participants: tuple[int, ...] = ()
+    #: concurrent wave the won negotiation ran in (-1 outside the
+    #: windowed runtime or for transactions that never won one)
+    wave: int = -1
 
     @property
     def latency_ms(self) -> float:
@@ -143,13 +150,15 @@ class SimResult:
         (Figure 24)."""
         synced = [r for r in self._measured() if r.kind == "sync"]
         if not synced:
-            return {"local": 0.0, "comm": 0.0, "solver": 0.0, "wait": 0.0}
+            return {"local": 0.0, "comm": 0.0, "solver": 0.0, "wait": 0.0,
+                    "vote": 0.0}
         n = len(synced)
         return {
             "local": sum(r.local_ms for r in synced) / n,
             "comm": sum(r.comm_ms for r in synced) / n,
             "solver": sum(r.solver_ms for r in synced) / n,
             "wait": sum(r.wait_ms for r in synced) / n,
+            "vote": sum(r.vote_ms for r in synced) / n,
         }
 
     def latency_cdf(self, points: Sequence[float]) -> list[tuple[float, float]]:
@@ -160,8 +169,6 @@ class SimResult:
             return [(p, 0.0) for p in points]
         out = []
         for p in points:
-            import bisect
-
             idx = bisect.bisect_right(lats, p)
             out.append((p, idx / len(lats)))
         return out

@@ -3,17 +3,16 @@
 Clients per replica issue transactions back to back (zero think
 time), matching the paper's harness.  Each transaction passes through
 
-1. **admission** -- under homeostasis/OPT, new work waits for any
-   in-flight treaty negotiation to finish (the cleanup phase quiesces
-   the round before the next one starts);
-2. **a CPU core** -- each replica has ``cores_per_replica`` servers
+1. **a CPU core** -- each replica has ``cores_per_replica`` servers
    with exponential service times (the Figure 17 saturation model);
-3. **item locks** -- same-key transactions serialize; under 2PC the
+2. **item locks** -- same-key transactions serialize; under 2PC the
    lock is held for the full two network round trips, which is what
-   collapses throughput on hot items, and waits beyond the
+   collapses throughput on hot items, waits beyond the
    ``lock_timeout_ms`` floor abort and retry (MySQL's 1 s minimum,
-   the Figure 19/21 tails);
-4. **the protocol decision** -- delegated to the *real* kernel
+   the Figure 19/21 tails), and a waiter releases its core while
+   blocked (local-path lock waits are same-replica microsecond-scale
+   queues and stay inside the core occupancy);
+3. **the protocol decision** -- delegated to the *real* kernel
    (``HomeostasisCluster`` / baselines), so violations happen exactly
    where the treaty math says they do; the simulator only prices
    them: a violation costs two round trips over the *participant set
@@ -24,6 +23,18 @@ time), matching the paper's harness.  Each transaction passes through
    violation between two nearby sites never pays the cluster
    diameter.  Kernels that do not report participants fall back to
    the cluster-wide ``2 * max_rtt`` bound.
+
+Under homeostasis/OPT, non-violating transactions never wait for an
+in-flight negotiation (only the ~2% violating transactions pay the
+round trips -- the paper's own latency accounting, Section 6.1).  How
+*racing violators* queue depends on the kernel: with a windowed
+:class:`~repro.protocol.concurrent.ConcurrentCluster`
+(``window_ms > 0``), submissions are batched into arrival windows,
+the kernel's real vote phase elects each conflict group's winner, and
+losers' queueing (``wait_ms``) comes from the elections they actually
+lost -- negotiations over disjoint participant closures proceed in
+parallel.  Per-transaction kernels (no ``submit_window``) fall back
+to per-key negotiation gates that approximate the same serialization.
 
 The clock is float milliseconds.  Determinism: one seeded RNG drives
 request generation and service times; the heap breaks ties by client
@@ -38,7 +49,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.sim.metrics import SimResult, TxnRecord
-from repro.sim.network import max_rtt, negotiation_cost_ms, uniform_rtt_matrix
+from repro.sim.network import (
+    max_rtt,
+    negotiation_cost_ms,
+    participants_rtt,
+    uniform_rtt_matrix,
+)
 
 
 @dataclass
@@ -76,6 +92,11 @@ class SimConfig:
     warmup_ms: float = 2_000.0
     max_txns: int = 20_000
     seed: int = 0
+    #: arrival-window width for the concurrent runtime: submissions
+    #: arriving within one window race through the kernel's real vote
+    #: phase (requires a cluster with ``submit_window``; 0 keeps the
+    #: per-transaction path)
+    window_ms: float = 0.0
 
     def matrix(self) -> list[list[float]]:
         if self.rtt_matrix is not None:
@@ -123,8 +144,23 @@ def simulate(
     lock_free: dict[tuple, float] = {}
     now = 0.0
 
-    while clients and result.committed < config.max_txns and now < config.duration_ms:
+    if (
+        config.mode in ("homeo", "opt")
+        and config.window_ms > 0.0
+        and hasattr(cluster, "submit_window")
+    ):
+        return _simulate_windows(
+            config, cluster, request_fn, rng, matrix, sync_cost_ms,
+            result, clients, cores, lock_free,
+        )
+
+    while clients and result.committed < config.max_txns:
         ready, client, replica = heapq.heappop(clients)
+        # Re-check the horizon *after* the pop: the popped client may
+        # be scheduled past the end of the run, and no record may
+        # start past ``duration_ms``.
+        if ready >= config.duration_ms:
+            break
         now = ready
         request = request_fn(rng, replica)
         service = rng.expovariate(1.0 / config.local_service_ms)
@@ -163,6 +199,150 @@ def simulate(
     return result
 
 
+@dataclass
+class _WindowEntry:
+    """One windowed submission's local-phase timing."""
+
+    ready: float
+    client: int
+    replica: int
+    request: SimRequest
+    service: float
+    start_exec: float
+    local_end: float
+
+
+def _simulate_windows(
+    config: SimConfig,
+    cluster,
+    request_fn: Callable[[random.Random, int], SimRequest],
+    rng: random.Random,
+    matrix: list[list[float]],
+    sync_cost_ms: float,
+    result: SimResult,
+    clients: list[tuple[float, int, int]],
+    cores: list[list[float]],
+    lock_free: dict[tuple, float],
+) -> SimResult:
+    """Drive a concurrent kernel with real interleaving.
+
+    Submissions arriving within ``window_ms`` of each other form one
+    window handed to ``cluster.submit_window``: several can violate
+    treaties in the same window, the kernel's vote phase elects each
+    conflict group's winner, and the timing model follows the
+    *kernel's* resolution instead of per-key gates --
+
+    - a group's election starts once its slowest contender discovers
+      its violation (max of local finish times) and costs one vote
+      round trip among the contender origins;
+    - the winner then pays the two scoped barrier rounds plus solver
+      time, priced per edge from its participant set;
+    - each loser re-runs after the winning negotiation installs new
+      treaties: its ``wait_ms`` is the election it actually lost, not
+      a synthetic gate;
+    - groups in the same wave have disjoint participant closures and
+      do *not* serialize: each starts from its own contenders' finish
+      times, never from another group's negotiation end.
+    """
+    solver = config.solver_ms if config.mode == "homeo" else 0.0
+    now = 0.0
+    while clients and result.committed < config.max_txns:
+        if clients[0][0] >= config.duration_ms:
+            break
+        window_close = clients[0][0] + config.window_ms
+        remaining = config.max_txns - result.committed
+
+        entries: list[_WindowEntry] = []
+        while (
+            clients
+            and clients[0][0] < window_close
+            and clients[0][0] < config.duration_ms
+            and len(entries) < remaining
+        ):
+            ready, client, replica = heapq.heappop(clients)
+            now = ready
+            request = request_fn(rng, replica)
+            service = rng.expovariate(1.0 / config.local_service_ms)
+            keys = [(replica, k) for k in request.lock_keys]
+            start_exec, local_end = _local_attempt(
+                cores, lock_free, replica, ready, service, keys
+            )
+            entries.append(
+                _WindowEntry(ready, client, replica, request, service,
+                             start_exec, local_end)
+            )
+
+        window = cluster.submit_window(
+            [(e.request.tx_name, e.request.params) for e in entries],
+            timestamps=[round(e.ready * 1000.0) for e in entries],
+        )
+
+        finish = [e.local_end for e in entries]
+        wait = [e.start_exec - e.ready for e in entries]
+        local = [e.service for e in entries]
+        comm = [0.0] * len(entries)
+        vote = [0.0] * len(entries)
+        solver_of = [0.0] * len(entries)
+        for wave_groups in window.waves:
+            for grp in wave_groups:
+                # The election starts once every contender has locally
+                # discovered its violation...
+                t0 = max(finish[m] for m in grp.members)
+                vote_ms = (
+                    participants_rtt(matrix, grp.contender_sites)
+                    if len(grp.contender_sites) > 1
+                    else 0.0
+                )
+                comm_ms = negotiation_cost_ms(
+                    matrix, grp.participants, fallback_ms=sync_cost_ms
+                )
+                neg_end = t0 + vote_ms + comm_ms + solver
+                w = grp.winner
+                wait[w] += t0 - finish[w]
+                vote[w], comm[w], solver_of[w] = vote_ms, comm_ms, solver
+                finish[w] = neg_end
+                # ...and each loser re-runs once the winner's treaty
+                # installs: queueing from the election it really lost.
+                # The re-run occupies a core (its CPU must be visible
+                # to the saturation model) but does not publish into
+                # ``lock_free`` -- those horizons describe arrival-time
+                # queueing, and publishing negotiation-scale times
+                # into them would make *non-violating* transactions of
+                # later windows inherit waits they never pay (the
+                # per-transaction path's non-violators never consult
+                # negotiation gates either).
+                for li in grp.losers:
+                    entry = entries[li]
+                    rerun_service = rng.expovariate(1.0 / config.local_service_ms)
+                    rerun_at = _acquire_core(cores, entry.replica, neg_end)
+                    rerun_end = rerun_at + rerun_service
+                    _release_core(cores, entry.replica, rerun_end)
+                    wait[li] += rerun_at - finish[li]
+                    local[li] += rerun_service
+                    finish[li] = rerun_end
+
+        for i, (entry, outcome) in enumerate(zip(entries, window.outcomes)):
+            kind = "sync" if outcome.synced else "local"
+            record = TxnRecord(
+                start_ms=entry.ready, end_ms=finish[i], kind=kind,
+                replica=entry.replica, family=entry.request.family,
+                wait_ms=wait[i], local_ms=local[i], comm_ms=comm[i],
+                solver_ms=solver_of[i], vote_ms=vote[i],
+                retries=outcome.lost_votes,
+                participants=outcome.participants, wave=outcome.wave,
+            )
+            result.records.append(record)
+            result.committed += 1
+            if kind == "sync":
+                result.negotiations += 1
+            result.aborted_attempts += outcome.lost_votes
+            heapq.heappush(clients, (finish[i], entry.client, entry.replica))
+
+    result.measured_to_ms = now
+    result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
+    return result
+
+
 def _acquire_core(cores: list[list[float]], replica: int, at: float) -> float:
     free_at = heapq.heappop(cores[replica])
     return max(at, free_at)
@@ -170,6 +350,26 @@ def _acquire_core(cores: list[list[float]], replica: int, at: float) -> float:
 
 def _release_core(cores: list[list[float]], replica: int, at: float) -> None:
     heapq.heappush(cores[replica], at)
+
+
+def _local_attempt(
+    cores: list[list[float]],
+    lock_free: dict[tuple, float],
+    replica: int,
+    at: float,
+    service: float,
+    keys: list[tuple],
+) -> tuple[float, float]:
+    """One disconnected execution attempt: take a core, queue behind
+    the per-(replica, key) locks, run, release.  Returns (start, end)."""
+    start_exec = _acquire_core(cores, replica, at)
+    for key in keys:
+        start_exec = max(start_exec, lock_free.get(key, 0.0))
+    end = start_exec + service
+    _release_core(cores, replica, end)
+    for key in keys:
+        lock_free[key] = end
+    return start_exec, end
 
 
 def _run_protected(
@@ -184,31 +384,31 @@ def _run_protected(
     sync_cost_ms: float,
     matrix: list[list[float]],
 ) -> tuple[float, TxnRecord]:
-    """Homeostasis / OPT: local execution, negotiation on violation.
+    """Homeostasis / OPT, per-transaction kernels: local execution,
+    negotiation on violation.
 
     Timing model: non-violating transactions never wait for an
     in-flight negotiation -- this matches the measured behaviour and
     the paper's own latency accounting ("4*0.98 + 200*0.02 =
     7.92 ms", Section 6.1), where only the ~2% violating transactions
-    pay the two round trips.  Negotiations over *the same objects*
-    serialize (racing violators of one treaty are losers that re-run,
-    appearing here as queueing on the per-key negotiation gate);
-    treaties of unrelated objects renegotiate independently and in
-    parallel, which is what keeps the protocol's aggregate throughput
-    three orders of magnitude above 2PC.
+    pay the two round trips.  Racing violators of one treaty
+    serialize on a per-key negotiation gate -- an *approximation* of
+    the vote phase for kernels that only expose ``submit``; a
+    windowed :class:`~repro.protocol.concurrent.ConcurrentCluster`
+    replaces the gates with real lost-vote queueing (see
+    ``_simulate_windows``).  Treaties of unrelated objects
+    renegotiate independently and in parallel, which is what keeps
+    the protocol's aggregate throughput three orders of magnitude
+    above 2PC.
 
     Each negotiation is priced from the participant set the kernel
     reports for it: two barrier rounds at the slowest RTT among the
     sites actually involved (per-edge latency pricing).
     """
-    start_exec = _acquire_core(cores, replica, ready)
     keys = [(replica, k) for k in request.lock_keys]
-    for key in keys:
-        start_exec = max(start_exec, lock_free.get(key, 0.0))
-    local_end = start_exec + service
-    _release_core(cores, replica, local_end)
-    for key in keys:
-        lock_free[key] = local_end
+    start_exec, local_end = _local_attempt(
+        cores, lock_free, replica, ready, service, keys
+    )
 
     outcome = cluster.submit(request.tx_name, request.params)
     if not outcome.synced:
@@ -251,20 +451,35 @@ def _run_2pc(
     sync_cost_ms: float,
     rng: random.Random,
 ) -> tuple[float, TxnRecord]:
-    """2PC: cluster-wide item locks held across both commit rounds."""
+    """2PC: cluster-wide item locks held across execution and both
+    commit rounds (the paper's model: the per-key hold is
+    ``service + 2 RTT``).
+
+    Core accounting: each attempt's CPU (``service``) is charged to a
+    server at dispatch, and the core is *released while the
+    transaction blocks on item locks* -- identically whether the wait
+    ends in a commit or in a ``lock_timeout_ms`` abort (a retry
+    re-runs the body, charging the CPU again).  Hot-key contention
+    therefore saturates the lock chain, not the server pool.  (The
+    seed model pinned a core through the whole lock wait on the
+    commit path only -- up to ``lock_timeout_ms`` of phantom CPU per
+    waiter -- which overstated CPU pressure exactly where Figures
+    16-18 measure the client-count saturation knee.)
+    """
     attempt_start = ready
     retries = 0
     while True:
         start_exec = _acquire_core(cores, replica, attempt_start)
+        # CPU charged at dispatch; the lock wait costs no server time
+        # on either path.
+        _release_core(cores, replica, start_exec + service)
         lock_at = start_exec
         for key in request.lock_keys:
             lock_at = max(lock_at, lock_free.get(("2pc", key), 0.0))
         wait = lock_at - start_exec
         if wait > config.lock_timeout_ms:
-            # MySQL-style lock wait timeout: abort, release the core,
-            # retry from scratch.
+            # MySQL-style lock wait timeout: abort, retry from scratch.
             abort_at = start_exec + config.lock_timeout_ms
-            _release_core(cores, replica, start_exec + 0.1)
             retries += 1
             if retries > config.max_retries:
                 record = TxnRecord(
@@ -274,15 +489,17 @@ def _run_2pc(
                 return abort_at, record
             attempt_start = abort_at
             continue
+        # Execution sits inside the critical section, as in the seed:
+        # the lock is held for service + two commit round trips.
         commit_end = lock_at + service + sync_cost_ms
-        _release_core(cores, replica, lock_at + service)
         for key in request.lock_keys:
             lock_free[("2pc", key)] = commit_end
         cluster.submit(request.tx_name, request.params)
         record = TxnRecord(
             start_ms=ready, end_ms=commit_end, kind="2pc", replica=replica,
             family=request.family,
-            wait_ms=(lock_at - ready), local_ms=service, comm_ms=sync_cost_ms,
+            wait_ms=(lock_at - ready), local_ms=service,
+            comm_ms=sync_cost_ms,
             retries=retries,
         )
         return commit_end, record
@@ -299,14 +516,10 @@ def _run_local(
     lock_free: dict[tuple, float],
 ) -> tuple[float, TxnRecord]:
     """LOCAL: uncoordinated execution at the origin replica."""
-    start_exec = _acquire_core(cores, replica, ready)
     keys = [(replica, k) for k in request.lock_keys]
-    for key in keys:
-        start_exec = max(start_exec, lock_free.get(key, 0.0))
-    end = start_exec + service
-    _release_core(cores, replica, end)
-    for key in keys:
-        lock_free[key] = end
+    start_exec, end = _local_attempt(
+        cores, lock_free, replica, ready, service, keys
+    )
     cluster.submit(request.tx_name, request.params)
     record = TxnRecord(
         start_ms=ready, end_ms=end, kind="local", replica=replica,

@@ -30,6 +30,7 @@ from repro.analysis.ground import ground_instances
 from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
 from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
+from repro.protocol.concurrent import ConcurrentCluster
 from repro.protocol.homeostasis import (
     HomeostasisCluster,
     OptimizerSettings,
@@ -150,6 +151,7 @@ class GeoMicroWorkload:
         cost_factor: int = 3,
         seed: int = 0,
         validate: bool = False,
+        cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         optimizer = None
         if strategy == "optimized":
@@ -167,7 +169,7 @@ class GeoMicroWorkload:
             optimizer=optimizer,
             families=dict(self.variants),
         )
-        return HomeostasisCluster(
+        return cluster_cls(
             site_ids=self.sites,
             locate=self.locate,
             initial_db=self.initial_db,
@@ -176,6 +178,12 @@ class GeoMicroWorkload:
             generator=generator,
             validate=validate,
         )
+
+    def build_concurrent(self, **kwargs) -> ConcurrentCluster:
+        """The same cluster under the concurrent cleanup runtime:
+        disjoint replication groups violate in the same window and
+        negotiate in parallel waves."""
+        return self.build_homeostasis(cluster_cls=ConcurrentCluster, **kwargs)
 
     # -- request generation ---------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
 from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
+from repro.protocol.concurrent import ConcurrentCluster
 from repro.protocol.homeostasis import (
     HomeostasisCluster,
     OptimizerSettings,
@@ -180,6 +181,7 @@ class MicroWorkload:
         cost_factor: int = 3,
         seed: int = 0,
         validate: bool = False,
+        cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         optimizer = None
         if strategy == "optimized":
@@ -197,7 +199,7 @@ class MicroWorkload:
             optimizer=optimizer,
             families=dict(self.variants),
         )
-        return HomeostasisCluster(
+        return cluster_cls(
             site_ids=self.sites,
             locate=self.locate,
             initial_db=self.initial_db,
@@ -206,6 +208,11 @@ class MicroWorkload:
             generator=generator,
             validate=validate,
         )
+
+    def build_concurrent(self, **kwargs) -> ConcurrentCluster:
+        """The same cluster under the concurrent cleanup runtime
+        (windowed submissions, real vote phase)."""
+        return self.build_homeostasis(cluster_cls=ConcurrentCluster, **kwargs)
 
     def build_local(self) -> LocalCluster:
         return LocalCluster(

@@ -1,10 +1,17 @@
 """Tests for the discrete-event runner's timing model."""
 
+import random
+
 import pytest
 
-from repro.sim.experiments import run_geo, run_micro, solver_time_model
+from repro.sim.experiments import (
+    run_contention,
+    run_geo,
+    run_micro,
+    solver_time_model,
+)
 from repro.sim.network import rtt_matrix_for
-from repro.sim.runner import SimConfig, SimRequest, simulate
+from repro.sim.runner import SimConfig, SimRequest, _run_2pc, simulate
 
 
 class _StubCluster:
@@ -104,6 +111,141 @@ class TestTimingModel:
     def test_unknown_mode(self):
         with pytest.raises(ValueError):
             simulate(_config("bogus"), _StubCluster(), _request_fn)
+
+
+class TestDurationBound:
+    def test_no_record_starts_past_duration(self):
+        """Regression: the loop bound used the *previous* iteration's
+        clock, so a client popped past the horizon still executed one
+        extra transaction."""
+        config = _config("local", max_txns=100_000, duration_ms=80.0)
+        res = simulate(config, _StubCluster(), _request_fn)
+        assert res.records, "expected a populated run"
+        assert max(r.start_ms for r in res.records) < 80.0
+        assert res.measured_to_ms < 80.0
+
+    def test_duration_bound_under_2pc_retries(self):
+        config = _config(
+            "2pc", max_txns=100_000, duration_ms=500.0, clients_per_replica=8,
+        )
+        res = simulate(config, _StubCluster(), lambda rng, r: SimRequest("T", {}, (0,)))
+        assert max(r.start_ms for r in res.records) < 500.0
+
+
+class Test2pcCoreAccounting:
+    """Satellite fix: the core is released while a transaction blocks
+    on item locks, identically for committing and aborting waiters."""
+
+    def _call(self, lock_horizon, max_retries=0):
+        config = SimConfig(mode="2pc", lock_timeout_ms=1000.0, max_retries=max_retries)
+        cores = [[0.0]]
+        lock_free = {("2pc", "k"): lock_horizon}
+        request = SimRequest("T", {}, ("k",), family="T")
+        end, record = _run_2pc(
+            config, _StubCluster(), request, 0, 0.0, 5.0,
+            cores, lock_free, 200.0, random.Random(0),
+        )
+        return end, record, cores
+
+    def test_committing_and_aborting_waiters_occupy_cores_identically(self):
+        # Same dispatch, same service; one waiter gets the lock after
+        # 300 ms and commits, the other would wait 3000 ms and aborts.
+        end_c, rec_c, cores_c = self._call(lock_horizon=300.0)
+        end_a, rec_a, cores_a = self._call(lock_horizon=3000.0)
+        assert rec_c.kind == "2pc" and rec_a.kind == "failed"
+        # Both occupied the core for exactly the 5 ms of CPU work --
+        # the lock wait costs no server time on either path.
+        assert cores_c == cores_a == [[5.0]]
+        # The commit still pays wait + service + 2 RTT in latency (the
+        # lock hold keeps execution inside the critical section).
+        assert end_c == pytest.approx(300.0 + 5.0 + 200.0)
+        assert end_a == pytest.approx(1000.0)
+
+    def test_commit_waiters_do_not_pin_cores(self):
+        """Macro regression: long lock waiters that eventually commit
+        must not starve unrelated transactions of cores.  Under the
+        seed model (core held through the wait) the cold family's p50
+        here was >10x the 2-RTT floor."""
+        state = {"n": 0}
+
+        def request_fn(rng, replica):
+            state["n"] += 1
+            if state["n"] % 8 == 0:
+                return SimRequest("cold", {}, (1000 + state["n"],), family="cold")
+            return SimRequest("hot", {}, (0,), family="hot")
+
+        config = _config(
+            "2pc", clients_per_replica=8, max_txns=600,
+            lock_timeout_ms=10_000.0, seed=2, cores_per_replica=2,
+        )
+        res = simulate(config, _StubCluster(), request_fn)
+        assert res.aborted_attempts == 0  # every waiter commits
+        cold = res.latency_stats("cold")
+        assert cold.count > 20
+        # Cold transactions ride the free cores: ~2 RTT + service.
+        assert cold.p50 < 250.0
+        assert res.latency_stats("hot").p50 > 1000.0  # the hot chain queues
+
+
+class TestWindowedDriver:
+    """The concurrent runtime driven with real interleaving."""
+
+    def test_contention_run_produces_real_races(self):
+        res = run_contention(
+            "homeo", num_items=8, refill=20, clients_per_replica=8,
+            max_txns=1000, seed=0,
+        )
+        assert res.committed == 1000
+        assert res.negotiations > 0
+        contested = [r for r in res.records if r.kind == "sync" and r.vote_ms > 0]
+        assert contested, "expected contested elections"
+        losers = [r for r in res.records if r.retries > 0]
+        assert losers, "expected transactions that lost a vote"
+        # A loser's queueing is the election it lost: at least the
+        # winner's negotiation (2 scoped RTTs at 100 ms) long.
+        assert max(r.wait_ms for r in losers) >= 200.0
+        assert res.aborted_attempts == sum(r.retries for r in res.records)
+
+    def test_contention_determinism(self):
+        """Two runs with the same seed produce identical records --
+        the seeded arbitration order is deterministic end to end."""
+        a = run_contention("homeo", num_items=8, refill=20, max_txns=600, seed=5)
+        b = run_contention("homeo", num_items=8, refill=20, max_txns=600, seed=5)
+        assert a.records == b.records
+        assert a.aborted_attempts == b.aborted_attempts
+
+    def test_disjoint_groups_priced_independently(self):
+        """Geo-partitioned contention: each group's negotiations are
+        priced from its own edge, as in the per-transaction path."""
+        res = run_contention(
+            "homeo", groups=((0, 1), (2, 3)), num_replicas=4,
+            num_items=6, refill=16, clients_per_replica=6,
+            max_txns=800, seed=1, config_overrides={"solver_ms": 0.0},
+        )
+        matrix = rtt_matrix_for(4)
+        synced = [r for r in res.records if r.kind == "sync"]
+        assert synced
+        for r in synced:
+            if r.participants == (0, 1):
+                assert r.comm_ms == pytest.approx(2 * matrix[0][1])
+            elif r.participants == (2, 3):
+                assert r.comm_ms == pytest.approx(2 * matrix[2][3])
+
+    def test_window_ms_without_submit_window_falls_back(self):
+        """A per-transaction kernel ignores window_ms and keeps the
+        legacy per-key-gate path."""
+        config = _config("homeo", window_ms=5.0)
+        res = simulate(config, _StubCluster(sync_every=10), _request_fn)
+        assert res.committed == 800
+        assert res.negotiations > 0
+
+    def test_window_zero_keeps_legacy_path_for_concurrent_kernels(self):
+        res = run_contention(
+            "homeo", num_items=8, refill=20, max_txns=400, seed=3,
+            config_overrides={"window_ms": 0.0},
+        )
+        assert res.committed == 400
+        assert all(r.vote_ms == 0.0 for r in res.records)
 
 
 class TestPerEdgePricing:
