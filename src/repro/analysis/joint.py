@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-from repro.analysis.symbolic import Row, SymbolicTable
+from repro.analysis.symbolic import SymbolicTable
 from repro.lang.ast import Com, Transaction
 from repro.logic.formula import FalseF, Formula, conj
 from repro.logic.simplify import simplify_formula

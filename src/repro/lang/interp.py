@@ -29,7 +29,6 @@ from repro.lang.ast import (
     AParam,
     ARead,
     ATemp,
-    ArrayRef,
     Assign,
     BAnd,
     BCmp,

@@ -42,7 +42,6 @@ from repro.lang.ast import (
     Assign,
     BAnd,
     BCmp,
-    BConst,
     BExp,
     BNot,
     BOr,

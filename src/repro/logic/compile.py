@@ -1,0 +1,273 @@
+"""Formula and treaty-clause compilation: the local-check fast path.
+
+The whole point of the homeostasis protocol is that a *local* treaty
+check replaces a coordinated round (Section 5.1), so the check sits on
+the hot path of every single commit: stored-procedure dispatch
+evaluates a row guard, and the pre-commit check evaluates the site's
+local treaty clauses.  The interpreted implementations
+(:meth:`repro.logic.formula.Formula.evaluate` and the per-constraint
+loops over :class:`repro.logic.linear.LinearConstraint`) walk an AST
+per call, which costs microseconds where the protocol's argument says
+it should cost nanoseconds.
+
+This module lowers both representations into single Python code
+objects built with :func:`compile`:
+
+- :func:`compile_formula` turns a :class:`Formula` (ideally after
+  :func:`repro.logic.simplify.simplify`) into a closure with the same
+  ``(getobj, params, temps)`` signature and semantics as
+  ``Formula.evaluate`` -- including raising :class:`KeyError` on
+  unbound parameters or temporaries;
+- :func:`compile_clause` / :func:`compile_clauses` turn normalized
+  linear treaty constraints into closures over ``getobj`` alone,
+  equivalent to :func:`interpret_clauses` (the interpreted reference
+  kept for differential tests and benchmarks).
+
+Compilation is memoized on the (hashable, immutable) AST nodes, so
+recurring guards and the value-keyed treaty pieces the incremental
+generator reuses across rounds compile once while cached (the memo
+tables are bounded and cleared wholesale when they outgrow
+``_CACHE_LIMIT``, so long-lived processes never accumulate dead code
+objects).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.logic.formula import And, BoolConst, Cmp, Formula, Not, Or
+from repro.logic.linear import LinearConstraint
+from repro.logic.terms import (
+    Add,
+    Const,
+    IndexedObjT,
+    Mul,
+    Neg,
+    ObjT,
+    ParamT,
+    TempT,
+    Term,
+    ground_name,
+)
+
+#: signature of a compiled formula check (mirrors ``Formula.evaluate``)
+FormulaCheck = Callable[..., bool]
+#: signature of a compiled treaty-clause check
+ClauseCheck = Callable[[Callable[[str], int]], bool]
+
+
+class CompilationError(Exception):
+    """The AST has no closed-form lowering (e.g. non-object variables
+    in a treaty constraint)."""
+
+
+#: comparison operator -> python source operator
+_PY_OP = {"<": "<", "<=": "<=", "=": "==", "!=": "!=", ">": ">", ">=": ">="}
+
+#: shared empty mapping for absent params/temps: lookups raise the
+#: same ``KeyError`` the interpreter raises on unbound names
+_EMPTY: Mapping[str, int] = {}
+
+#: above this many clauses a conjunction is split into several code
+#: objects (keeps generated expressions small for pathological treaties)
+_CHUNK = 64
+
+#: per-table memo bound: value-keyed treaty pieces recur across rounds
+#: so the working set is small, but each negotiation can also mint
+#: clauses with fresh bounds -- when a table outgrows this limit it is
+#: simply cleared (recompilation is cheap and correctness-free), which
+#: keeps long-lived processes from accumulating dead code objects
+_CACHE_LIMIT = 4096
+
+_formula_cache: dict[Formula, FormulaCheck] = {}
+_clause_cache: dict[LinearConstraint, ClauseCheck] = {}
+_conjunction_cache: dict[tuple[LinearConstraint, ...], ClauseCheck] = {}
+
+
+def _remember(cache: dict, key, value):
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+    cache[key] = value
+    return value
+
+
+def compiled_counts() -> dict[str, int]:
+    """Sizes of the memo tables (observability for tests/benchmarks)."""
+    return {
+        "formulas": len(_formula_cache),
+        "clauses": len(_clause_cache),
+        "conjunctions": len(_conjunction_cache),
+    }
+
+
+# -- codegen ---------------------------------------------------------------
+
+
+def _term_source(term: Term) -> str:
+    """Python expression source for a term over ``(g, p, t)``."""
+    if isinstance(term, Const):
+        return f"({term.value})"
+    if isinstance(term, ObjT):
+        return f"g({term.name!r})"
+    if isinstance(term, ParamT):
+        return f"p[{term.name!r}]"
+    if isinstance(term, TempT):
+        return f"t[{term.name!r}]"
+    if isinstance(term, IndexedObjT):
+        indices = ", ".join(_term_source(ix) for ix in term.index)
+        if len(term.index) == 1:
+            indices += ","
+        return f"g(_gn({term.base!r}, ({indices})))"
+    if isinstance(term, Neg):
+        return f"(-{_term_source(term.operand)})"
+    if isinstance(term, Add):
+        return f"({_term_source(term.left)} + {_term_source(term.right)})"
+    if isinstance(term, Mul):
+        return f"({_term_source(term.left)} * {_term_source(term.right)})"
+    raise CompilationError(f"unknown term node {term!r}")
+
+
+def _formula_source(formula: Formula) -> str:
+    """Python expression source for a formula over ``(g, p, t)``."""
+    if isinstance(formula, BoolConst):
+        return "True" if formula.value else "False"
+    if isinstance(formula, Cmp):
+        lhs = _term_source(formula.left)
+        rhs = _term_source(formula.right)
+        return f"({lhs} {_PY_OP[formula.op]} {rhs})"
+    if isinstance(formula, And):
+        if not formula.operands:
+            return "True"
+        return "(" + " and ".join(_formula_source(f) for f in formula.operands) + ")"
+    if isinstance(formula, Or):
+        if not formula.operands:
+            return "False"
+        return "(" + " or ".join(_formula_source(f) for f in formula.operands) + ")"
+    if isinstance(formula, Not):
+        return f"(not {_formula_source(formula.operand)})"
+    raise CompilationError(f"unknown formula node {formula!r}")
+
+
+def _clause_source(con: LinearConstraint) -> str:
+    """Python expression source for a treaty clause over ``g``."""
+    if con.op not in ("<=", "="):
+        raise CompilationError(f"non-normalized constraint operator {con.op!r}")
+    parts: list[str] = []
+    for var, coeff in con.expr.coeffs:
+        if not isinstance(var, ObjT):
+            raise CompilationError(
+                f"treaty clause mentions non-object variable {var!r}"
+            )
+        access = f"g({var.name!r})"
+        if coeff == 1:
+            parts.append(access)
+        elif coeff == -1:
+            parts.append(f"-{access}")
+        else:
+            parts.append(f"{coeff}*{access}")
+    total = " + ".join(parts) if parts else "0"
+    return f"({total}) {_PY_OP[con.op]} {con.bound}"
+
+
+def _make(source: str, args: str) -> Callable:
+    """Build one closure from generated expression source."""
+    code = compile(f"lambda {args}: {source}", "<treaty-check>", "eval")
+    return eval(code, {"_gn": ground_name})
+
+
+# -- public API ------------------------------------------------------------
+
+
+def compile_formula(formula: Formula) -> FormulaCheck:
+    """Compile a formula into a check equivalent to ``formula.evaluate``.
+
+    The returned closure has the signature
+    ``check(getobj, params=None, temps=None) -> bool`` and agrees with
+    the interpreter on every environment, including raising
+    ``KeyError`` for unbound parameters and temporaries.
+    """
+    cached = _formula_cache.get(formula)
+    if cached is not None:
+        return cached
+    try:
+        raw = _make(_formula_source(formula), "g, p, t")
+    except (SyntaxError, RecursionError, MemoryError):
+        # Pathologically deep ASTs (e.g. a foreach unrolled over
+        # hundreds of array slots) can exceed CPython's nested-paren
+        # or recursion limits; the equivalence contract wins over the
+        # speedup, so fall back to the interpreter itself.
+        raw = None
+
+    if raw is None:
+        check: FormulaCheck = formula.evaluate
+    else:
+
+        def check(getobj, params=None, temps=None) -> bool:
+            return raw(
+                getobj,
+                _EMPTY if params is None else params,
+                _EMPTY if temps is None else temps,
+            )
+
+    return _remember(_formula_cache, formula, check)
+
+
+def compile_clause(con: LinearConstraint) -> ClauseCheck:
+    """Compile one normalized treaty clause into a check over ``getobj``."""
+    cached = _clause_cache.get(con)
+    if cached is not None:
+        return cached
+    return _remember(_clause_cache, con, _make(_clause_source(con), "g"))
+
+
+def compile_clauses(constraints: Iterable[LinearConstraint]) -> ClauseCheck:
+    """Compile a conjunction of treaty clauses into one check.
+
+    This is the per-commit fast path: the entire local treaty becomes
+    a single short-circuiting code object, so checking costs one
+    closure call instead of a Python-level loop with per-clause
+    dispatch.
+    """
+    cons = tuple(constraints)
+    cached = _conjunction_cache.get(cons)
+    if cached is not None:
+        return cached
+    if not cons:
+        check: ClauseCheck = lambda g: True  # the empty treaty holds
+    elif len(cons) <= _CHUNK:
+        check = _make(" and ".join(_clause_source(c) for c in cons), "g")
+    else:
+        chunks = tuple(
+            _make(" and ".join(_clause_source(c) for c in cons[i : i + _CHUNK]), "g")
+            for i in range(0, len(cons), _CHUNK)
+        )
+
+        def check(g, _chunks=chunks) -> bool:
+            return all(part(g) for part in _chunks)
+
+    return _remember(_conjunction_cache, cons, check)
+
+
+def interpret_clauses(
+    constraints: Sequence[LinearConstraint], getobj: Callable[[str], int]
+) -> bool:
+    """Interpreted reference semantics for :func:`compile_clauses`.
+
+    Kept (rather than deleted with the old per-call loops) so the
+    equivalence property tests and the benchmark harness can measure
+    compiled-vs-interpreted head to head.
+    """
+    for con in constraints:
+        if con.op not in ("<=", "="):
+            raise CompilationError(f"non-normalized constraint operator {con.op!r}")
+        total = 0
+        for var, coeff in con.expr.coeffs:
+            if not isinstance(var, ObjT):
+                raise CompilationError(
+                    f"treaty clause mentions non-object variable {var!r}"
+                )
+            total += coeff * getobj(var.name)
+        ok = total <= con.bound if con.op == "<=" else total == con.bound
+        if not ok:
+            return False
+    return True

@@ -21,6 +21,7 @@ from typing import Callable, Mapping
 from repro.analysis.symbolic import Row, SymbolicTable
 from repro.lang.ast import Com, Transaction
 from repro.lang.interp import ExecContext, execute
+from repro.logic.compile import FormulaCheck, compile_formula
 
 
 class CatalogError(Exception):
@@ -29,11 +30,22 @@ class CatalogError(Exception):
 
 @dataclass(frozen=True)
 class StoredProcedure:
-    """One registered row procedure."""
+    """One registered row procedure.
+
+    The row guard is compiled to a closure at construction time, so
+    per-transaction dispatch never walks the guard AST (guards are
+    evaluated once per registered row on *every* submission -- they
+    are as hot as the treaty check itself).
+    """
 
     tx_name: str
     row_index: int
     row: Row
+    guard_check: FormulaCheck | None = None
+
+    def __post_init__(self) -> None:
+        if self.guard_check is None:
+            object.__setattr__(self, "guard_check", compile_formula(self.row.guard))
 
     def run(self, ctx: ExecContext) -> None:
         """Execute the partially evaluated transaction's effects."""
@@ -68,13 +80,14 @@ class StoredProcedureCatalog:
         getobj: Callable[[str], int],
         params: Mapping[str, int] | None = None,
     ) -> StoredProcedure:
-        """Select the unique row procedure whose guard matches."""
+        """Select the unique row procedure whose guard matches (via
+        the compiled guard checks)."""
         if tx_name not in self.procedures:
             raise CatalogError(f"unknown transaction {tx_name!r}")
         matches = [
             proc
             for proc in self.procedures[tx_name]
-            if proc.row.guard.evaluate(getobj, params=params)
+            if proc.guard_check(getobj, params)
         ]
         if len(matches) != 1:
             raise CatalogError(

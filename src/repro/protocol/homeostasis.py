@@ -54,7 +54,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.analysis.residual import residual_reads
 from repro.analysis.symbolic import SymbolicTable
-from repro.lang.ast import Transaction, transaction_reads, transaction_writes
+from repro.lang.ast import Transaction
 from repro.logic.linear import LinearConstraint, LinearExpr
 from repro.logic.linearize import LinearizedTreaty, linearize_for_treaty
 from repro.logic.terms import ObjT
@@ -775,6 +775,25 @@ class HomeostasisCluster:
             synced=True,
             participants=tuple(sorted(participants)),
         )
+
+    def precompile_checks(self) -> int:
+        """Warm every compiled hot-path check; returns closures warmed.
+
+        Guards compile at catalog registration and treaty checks
+        compile lazily on first use; the simulator calls this up front
+        so no measured transaction pays the one-time lowering cost.
+        Works for any kernel built on this class (including the
+        concurrent runtime).
+        """
+        warmed = 0
+        if self.treaty_table is not None:
+            warmed += self.treaty_table.precompile()
+        for server in self.sites.values():
+            if server.local_treaty is not None:
+                server.local_treaty.compiled_check()
+                server.local_treaty._object_index()
+                warmed += 1
+        return warmed
 
     # -- inspection ----------------------------------------------------------------
 

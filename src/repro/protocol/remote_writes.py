@@ -35,10 +35,8 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.lang.ast import (
     ABin,
-    AConst,
     AExp,
     ANeg,
-    AParam,
     ARead,
     ArrayRef,
     Assign,

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.sim.metrics import SimResult, TxnRecord
@@ -112,6 +112,12 @@ def simulate(
     """Run one closed-loop simulation to ``max_txns`` or ``duration_ms``."""
     rng = random.Random(config.seed)
     matrix = config.matrix()
+    # Warm the kernel's compiled treaty/guard checks before the first
+    # arrival (covers both the per-transaction and the windowed
+    # concurrent kernels): every in-run check is one closure call.
+    warm = getattr(cluster, "precompile_checks", None)
+    if warm is not None:
+        warm()
     # Cluster-wide bound: the price of a round involving every site
     # (2PC's ROWA cohort always does; scoped negotiations price their
     # own participant edges and only degrade to this worst case).

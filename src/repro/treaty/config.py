@@ -27,7 +27,7 @@ from typing import Callable, Mapping
 
 from repro.logic.linear import LinearConstraint, LinearExpr
 from repro.solver.ilp import ilp_feasible
-from repro.treaty.templates import ClauseTemplate, ConfigVar, TreatyTemplates
+from repro.treaty.templates import ConfigVar, TreatyTemplates
 
 
 @dataclass

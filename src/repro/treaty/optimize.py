@@ -28,7 +28,7 @@ so they take the Theorem 4.3 default.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Protocol, Sequence
 
 from repro.lang.ast import Transaction

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.logic.compile import ClauseCheck, compile_clause, compile_clauses
 from repro.logic.linear import LinearConstraint
 from repro.logic.linearize import LinearizedTreaty
 from repro.logic.terms import ObjT
@@ -19,32 +20,40 @@ from repro.treaty.config import Configuration, local_treaties
 from repro.treaty.templates import TreatyTemplates
 
 
-def _evaluate(con: LinearConstraint, getobj: Callable[[str], int]) -> bool:
-    total = 0
-    for var, coeff in con.expr.coeffs:
-        assert isinstance(var, ObjT)
-        total += coeff * getobj(var.name)
-    return total <= con.bound if con.op == "<=" else total == con.bound
-
-
 @dataclass
 class LocalTreaty:
-    """The conjunction of local treaty clauses enforced at one site."""
+    """The conjunction of local treaty clauses enforced at one site.
+
+    ``constraints`` must not be mutated after construction: the
+    compiled whole-treaty check and the per-object clause index are
+    built lazily from it and cached.  Replacing a site's treaty means
+    installing a *new* ``LocalTreaty`` (which is what every install
+    path does), never editing one in place.
+    """
 
     site: int
     constraints: list[LinearConstraint] = field(default_factory=list)
-    _by_object: dict[str, list[LinearConstraint]] | None = None
+    _by_object: dict[str, list[tuple[LinearConstraint, ClauseCheck]]] | None = None
+    _compiled: ClauseCheck | None = None
+
+    def compiled_check(self) -> ClauseCheck:
+        """The whole-treaty check as one compiled closure (the
+        per-commit fast path)."""
+        if self._compiled is None:
+            self._compiled = compile_clauses(self.constraints)
+        return self._compiled
 
     def holds(self, getobj: Callable[[str], int]) -> bool:
-        return all(_evaluate(con, getobj) for con in self.constraints)
+        return self.compiled_check()(getobj)
 
-    def _object_index(self) -> dict[str, list[LinearConstraint]]:
+    def _object_index(self) -> dict[str, list[tuple[LinearConstraint, ClauseCheck]]]:
         if self._by_object is None:
-            index: dict[str, list[LinearConstraint]] = {}
+            index: dict[str, list[tuple[LinearConstraint, ClauseCheck]]] = {}
             for con in self.constraints:
+                check = compile_clause(con)
                 for var in con.variables():
                     assert isinstance(var, ObjT)
-                    index.setdefault(var.name, []).append(con)
+                    index.setdefault(var.name, []).append((con, check))
             self._by_object = index
         return self._by_object
 
@@ -74,18 +83,20 @@ class LocalTreaty:
         seen: set[int] = set()
         violated: set[str] = set()
         for name in written:
-            for con in index.get(name, ()):
+            for con, check in index.get(name, ()):
                 if id(con) in seen:
                     continue
                 seen.add(id(con))
-                if not _evaluate(con, getobj):
+                if not check(getobj):
                     for var in con.variables():
                         assert isinstance(var, ObjT)
                         violated.add(var.name)
         return violated
 
     def violated_clauses(self, getobj: Callable[[str], int]) -> list[LinearConstraint]:
-        return [con for con in self.constraints if not _evaluate(con, getobj)]
+        return [
+            con for con in self.constraints if not compile_clause(con)(getobj)
+        ]
 
     def objects(self) -> set[str]:
         names: set[str] = set()
@@ -112,6 +123,9 @@ class TreatyTable:
     #: lazy per-site factor index: object name -> sites whose local
     #: treaty enforces a clause mentioning it
     _factor_sites: dict[str, set[int]] | None = None
+    #: per-site compiled whole-treaty checks (the ``check_local`` fast
+    #: path); invalidated by :meth:`install_local`
+    _compiled_checks: dict[int, ClauseCheck] = field(default_factory=dict)
 
     @classmethod
     def assemble(
@@ -139,6 +153,34 @@ class TreatyTable:
     def local_for(self, site: int) -> LocalTreaty:
         return self.locals[site]
 
+    def install_local(self, site: int, treaty: LocalTreaty) -> None:
+        """Replace one site's local treaty.
+
+        Drops the site's compiled check and the per-site factor index
+        so both are rebuilt from the new clauses on next use (the
+        compiled-check cache must never outlive the treaty it was
+        lowered from).
+        """
+        self.locals[site] = treaty
+        self._compiled_checks.pop(site, None)
+        self._factor_sites = None
+
+    def precompile(self) -> int:
+        """Eagerly compile every site's check; returns the number of
+        sites warmed.  Normally compilation is lazy (first check after
+        an install); the simulator warms the cache up front so no
+        transaction pays the one-time lowering cost mid-run."""
+        for site in self.locals:
+            self._compiled_check(site)
+        return len(self.locals)
+
+    def _compiled_check(self, site: int) -> ClauseCheck:
+        check = self._compiled_checks.get(site)
+        if check is None:
+            check = self.locals[site].compiled_check()
+            self._compiled_checks[site] = check
+        return check
+
     def sites_for_objects(self, names) -> set[int]:
         """Sites whose installed local treaty has a clause over any of
         the given objects (the per-site factor index).
@@ -159,8 +201,12 @@ class TreatyTable:
         return out
 
     def check_local(self, site: int, getobj: Callable[[str], int]) -> bool:
-        """The per-commit check a stored procedure performs."""
-        return self.locals[site].holds(getobj)
+        """The per-commit check a stored procedure performs.
+
+        One compiled-closure call: the site's entire local treaty is
+        lowered to a single code object (cached per site, invalidated
+        on :meth:`install_local`)."""
+        return self._compiled_check(site)(getobj)
 
     def global_holds(self, getobj: Callable[[str], int]) -> bool:
         """Direct check of the global treaty (needs a global view;

@@ -24,7 +24,7 @@ the cluster never hears about it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.ground import ground_instances
 from repro.analysis.symbolic import SymbolicTable, build_symbolic_table

@@ -36,8 +36,7 @@ Expected protocol behaviour, derived automatically by the analysis
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.analysis.ground import ground_instances
 from repro.analysis.symbolic import SymbolicTable, build_symbolic_table

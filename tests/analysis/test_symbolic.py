@@ -15,7 +15,7 @@ from repro.analysis.symbolic import (
     build_symbolic_table,
     rows_are_exclusive,
 )
-from repro.lang.ast import Skip, Transaction
+from repro.lang.ast import Transaction
 from repro.lang.interp import evaluate
 from repro.lang.parser import parse_transaction
 
@@ -118,7 +118,7 @@ class TestTransactionShapes:
             if b < 10 then { write(y = 1) } else { write(y = 2) }
             """
         )
-        table = build_symbolic_table(tx)
+        build_symbolic_table(tx)
         # Guards must be over the *initial* x: x + 5 < 10 i.e. x < 5.
         for vx in (0, 4, 5, 6, 100):
             _soundness_check(tx, {"x": vx})

@@ -7,7 +7,6 @@ from repro.lang.ast import (
     AConst,
     AParam,
     ARead,
-    ATemp,
     ArrayRef,
     Assign,
     BCmp,
@@ -19,7 +18,7 @@ from repro.lang.ast import (
     Skip,
     Write,
 )
-from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.lexer import LexError, tokenize
 from repro.lang.parser import ParseError, parse_program, parse_transaction
 from repro.lang.pretty import pretty_transaction
 

@@ -4,14 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang.ast import Transaction
 from repro.lang.interp import evaluate
 from repro.lang.lpp import (
     DesugarError,
     desugar_transaction,
     is_core_l,
-    subst_temp_com,
-    unroll_foreach,
 )
 from repro.lang.parser import parse_program, parse_transaction
 

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.logic.formula import (
     And,
-    BoolConst,
     Cmp,
     FalseF,
     Not,

@@ -18,7 +18,6 @@ import random
 import pytest
 
 from repro.lang.interp import evaluate
-from repro.protocol.concurrent import ConcurrentCluster
 from repro.protocol.homeostasis import ProtocolError
 from repro.protocol.messages import SyncBroadcast, Vote, VoteReply
 from repro.protocol.transport import Transport, TransportError
@@ -286,7 +285,7 @@ class TestConcurrentTransportContexts:
         transport = Transport()
         for sid in range(5):
             transport.register(sid, _Ack())
-        a = transport.begin("cleanup", 0, scope=frozenset({0, 1}))
+        transport.begin("cleanup", 0, scope=frozenset({0, 1}))
         transport.begin("cleanup", 2, scope=frozenset({2, 3}))
         with pytest.raises(TransportError):
             transport.send(SyncBroadcast(src=4, dst=0))

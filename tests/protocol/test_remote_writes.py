@@ -1,7 +1,5 @@
 """Tests for the Appendix B transform (repro.protocol.remote_writes)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Tests for treaty templates and configurations (Section 4.2)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,12 +2,9 @@
 
 import random
 
-from repro.analysis.residual import residual_reads
 from repro.analysis.symbolic import build_symbolic_table
-from repro.lang.ast import Skip
 from repro.lang.interp import evaluate
 from repro.workloads.topk import (
-    TopKSystem,
     TopKWorkload,
     aggregator_table,
     skip_guard_threshold,
