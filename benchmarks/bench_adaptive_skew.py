@@ -1,0 +1,111 @@
+"""Adaptive vs static treaty allocation under Zipf site-load skew.
+
+The coordination-avoidance literature's demand-proportional claim,
+measured: a static (equal-split / demarcation OPT) allocation hands
+every site the same share of each treaty's slack, so when the offered
+load is skewed the hot site exhausts its budget and pays sync rounds
+while cold sites hoard theirs.  The adaptive mode sizes each site's
+split from the online demand estimator and refreshes proactively at
+the low-watermark, so the sync ratio stays flat -- or falls -- as the
+skew grows.
+
+Two tables: the micro sweep over the Zipf exponent, and the TPC-C
+subset at the high-skew point (scarce stock, so allocation is the
+binding constraint).  Rebalance ratios are printed next to sync
+ratios: the adaptive win must survive adding them back, proving the
+drop is coordination avoided, not relabelled.
+"""
+
+from _common import print_table
+
+from repro.sim.experiments import run_adaptive_skew
+
+SKEW_SWEEP = (0.0, 1.0, 2.0)
+
+TPCC_POINT = dict(
+    workload="tpcc",
+    skew=2.0,
+    max_txns=1_000,
+    num_items=30,
+    initial_stock=35,
+    seed=0,
+    # The same point the harness gates in CI: long enough past the
+    # estimator's learning phase that the honest-total comparison
+    # (sync + rebalance) is meaningful.
+    config_overrides={"duration_ms": 30_000.0},
+)
+
+
+def _run_sweep():
+    micro = {
+        skew: {
+            mode: run_adaptive_skew(
+                mode, skew=skew, workload="micro", max_txns=1_200, seed=0
+            )
+            for mode in ("static", "adaptive")
+        }
+        for skew in SKEW_SWEEP
+    }
+    tpcc = {
+        mode: run_adaptive_skew(mode, **TPCC_POINT)
+        for mode in ("static", "adaptive")
+    }
+    return micro, tpcc
+
+
+def test_adaptive_skew(benchmark):
+    micro, tpcc = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for skew, runs in micro.items():
+        static, adaptive = runs["static"], runs["adaptive"]
+        rows.append([
+            skew,
+            static.sync_ratio,
+            adaptive.sync_ratio,
+            adaptive.rebalance_ratio,
+            adaptive.sync_ratio + adaptive.rebalance_ratio,
+            static.latency_stats().p99,
+            adaptive.latency_stats().p99,
+        ])
+    print_table(
+        "Adaptive vs static sync ratio vs Zipf site skew (micro)",
+        ["skew", "static sync", "adaptive sync", "adaptive reb",
+         "adaptive total", "static p99", "adaptive p99"],
+        rows,
+    )
+
+    t_static, t_adaptive = tpcc["static"], tpcc["adaptive"]
+    print_table(
+        "Adaptive vs static at the high-skew point (TPC-C, scarce stock)",
+        ["mode", "sync ratio", "rebalance ratio", "total", "p99 (ms)"],
+        [
+            ["static", t_static.sync_ratio, 0.0, t_static.sync_ratio,
+             t_static.latency_stats().p99],
+            ["adaptive", t_adaptive.sync_ratio, t_adaptive.rebalance_ratio,
+             t_adaptive.sync_ratio + t_adaptive.rebalance_ratio,
+             t_adaptive.latency_stats().p99],
+        ],
+    )
+
+    # The headline claim, on both workloads: at the high-skew point the
+    # adaptive sync ratio is strictly below static's, and remains below
+    # even counting every proactive refresh as a full negotiation.
+    high = micro[SKEW_SWEEP[-1]]
+    assert high["adaptive"].sync_ratio < high["static"].sync_ratio
+    assert (
+        high["adaptive"].sync_ratio + high["adaptive"].rebalance_ratio
+        < high["static"].sync_ratio
+    )
+    assert t_adaptive.sync_ratio < t_static.sync_ratio
+    assert (
+        t_adaptive.sync_ratio + t_adaptive.rebalance_ratio
+        < t_static.sync_ratio
+    )
+    # Static degrades (or at best holds) as skew grows; adaptive's
+    # advantage widens with it.
+    gaps = [
+        micro[s]["static"].sync_ratio - micro[s]["adaptive"].sync_ratio
+        for s in SKEW_SWEEP
+    ]
+    assert gaps[-1] > gaps[0], f"adaptive advantage did not grow: {gaps}"

@@ -8,6 +8,12 @@ Gates (per scenario):
   baseline (plus a small absolute epsilon for near-zero ratios);
 - ``p99_ms`` (simulated, deterministic) must not rise more than
   ``--threshold`` above the baseline;
+- scenarios carrying an ``adaptive_gate`` block (the adaptive_skew
+  scenario) must show the adaptive sync ratio **strictly below** the
+  static one at the high-skew point, per workload -- this is the
+  headline claim of adaptive reallocation, checked on the *current*
+  run (both ratios are deterministic under the fixed seed, so the
+  inequality is stable) in addition to the regression gates above;
 - the treaty-check microbenchmark ``speedup`` must stay at or above
   ``--min-speedup`` (default 1.5).  The recorded speedups sit at
   ~2.4-2.9x; the floor is deliberately below them because the speedup
@@ -81,6 +87,28 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
             f"{name}: p99 latency regressed {base_p99:.1f} -> {cur_p99:.1f} ms "
             f"(> {threshold:.0%} rise)"
         )
+
+    failures.extend(adaptive_gate_failures(name, current))
+    return failures
+
+
+def adaptive_gate_failures(name: str, current: dict) -> list[str]:
+    """The adaptive-beats-static gate over a record's ``adaptive_gate``
+    block (empty for scenarios without one)."""
+    gate = current.get("adaptive_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    for workload, point in sorted(gate.items()):
+        if not isinstance(point, dict):
+            continue  # 'skew' and other scalar annotations
+        adaptive = point["adaptive_sync_ratio"]
+        static = point["static_sync_ratio"]
+        if not adaptive < static:
+            failures.append(
+                f"{name}/{workload}: adaptive sync ratio {adaptive:.4f} not "
+                f"strictly below static {static:.4f} at skew {gate.get('skew')}"
+            )
     return failures
 
 
@@ -130,6 +158,16 @@ def main(argv: list[str] | None = None) -> int:
             f"wall {current['wall_time_s']:.2f}s (baseline "
             f"{baseline['wall_time_s']:.2f}s, not gated)"
         )
+        gate = current.get("adaptive_gate")
+        if gate:
+            for workload, point in sorted(gate.items()):
+                if isinstance(point, dict):
+                    print(
+                        f"    adaptive_gate {workload}: adaptive "
+                        f"{point['adaptive_sync_ratio']:.4f} vs static "
+                        f"{point['static_sync_ratio']:.4f} (rebalance ratio "
+                        f"{point['adaptive_rebalance_ratio']:.4f})"
+                    )
 
     # One shared measurement, one gate: the harness copies the same
     # microbench record into every scenario file, so judge its best

@@ -29,6 +29,7 @@ Schema (``schema_version`` 1)::
       "mode": str,                # kernel mode the scenario ran
       "txns": int,                # committed transactions
       "negotiations": int,
+      "rebalances": int,          # proactive adaptive refreshes
       "wall_time_s": float,       # host-dependent, not gated
       "throughput_txn_per_s": float,   # simulated clock, deterministic
       "sync_ratio": float,             # deterministic
@@ -39,6 +40,17 @@ Schema (``schema_version`` 1)::
         "interpreted_checks_per_s": float,
         "compiled_checks_per_s": float,
         "speedup": float          # compiled / interpreted
+      },
+      # adaptive_skew only: the adaptive-beats-static comparison at
+      # the high-skew point, gated by compare_bench.py
+      "adaptive_gate": {
+        "skew": float,
+        "<workload>": {
+          "adaptive_sync_ratio": float,   # deterministic
+          "static_sync_ratio": float,     # deterministic
+          "adaptive_rebalance_ratio": float,
+          "adaptive_rebalances": int
+        }
       }
     }
 
@@ -61,7 +73,12 @@ if __package__ in (None, ""):  # script mode: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.logic.compile import compile_clauses, interpret_clauses  # noqa: E402
-from repro.sim.experiments import run_contention, run_geo, run_micro  # noqa: E402
+from repro.sim.experiments import (  # noqa: E402
+    run_adaptive_skew,
+    run_contention,
+    run_geo,
+    run_micro,
+)
 from repro.workloads.micro import MicroWorkload  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -126,11 +143,57 @@ def _scenario_contention_races():
     return run_contention("homeo", num_items=20, window_ms=10.0, max_txns=800, seed=0)
 
 
-#: scenario name -> zero-argument runner returning a SimResult
+#: the high-skew point of the adaptive-reallocation experiment
+ADAPTIVE_SKEW = 2.0
+
+#: per-workload knobs of the adaptive_skew scenario (deterministic)
+_ADAPTIVE_POINTS = {
+    "micro": dict(workload="micro", skew=ADAPTIVE_SKEW, max_txns=2_000, seed=0),
+    "tpcc": dict(
+        workload="tpcc",
+        skew=ADAPTIVE_SKEW,
+        max_txns=1_000,
+        num_items=30,
+        initial_stock=35,
+        seed=0,
+        config_overrides={"duration_ms": 30_000.0},
+    ),
+}
+
+
+def _scenario_adaptive_skew():
+    """Adaptive vs static treaty allocation at the high-skew point.
+
+    The scenario's headline metrics (throughput / sync ratio / p99)
+    are the *adaptive micro* run; the extras record the
+    adaptive-beats-static comparison on both workloads, which
+    ``compare_bench.py`` enforces as its own gate.  Rebalance ratios
+    are recorded alongside so the win is auditable as real
+    coordination avoided, not violations relabelled as refreshes.
+    """
+    gate: dict = {"skew": ADAPTIVE_SKEW}
+    main_result = None
+    for workload, point in _ADAPTIVE_POINTS.items():
+        adaptive = run_adaptive_skew("adaptive", **point)
+        static = run_adaptive_skew("static", **point)
+        gate[workload] = {
+            "adaptive_sync_ratio": round(adaptive.sync_ratio, 5),
+            "static_sync_ratio": round(static.sync_ratio, 5),
+            "adaptive_rebalance_ratio": round(adaptive.rebalance_ratio, 5),
+            "adaptive_rebalances": adaptive.rebalances,
+        }
+        if workload == "micro":
+            main_result = adaptive
+    return main_result, {"adaptive_gate": gate}
+
+
+#: scenario name -> zero-argument runner returning a SimResult (or a
+#: (SimResult, extras) pair whose extras merge into the JSON record)
 SCENARIOS = {
     "micro": _scenario_micro,
     "geo_pricing": _scenario_geo_pricing,
     "contention_races": _scenario_contention_races,
+    "adaptive_skew": _scenario_adaptive_skew,
 }
 
 
@@ -145,13 +208,17 @@ def run_scenario(name: str, check_microbench: dict | None = None) -> dict:
     t0 = time.perf_counter()
     result = runner()
     wall = time.perf_counter() - t0
+    extras: dict = {}
+    if isinstance(result, tuple):
+        result, extras = result
     stats = result.latency_stats()
-    return {
+    record = {
         "schema_version": SCHEMA_VERSION,
         "scenario": name,
         "mode": result.mode,
         "txns": result.committed,
         "negotiations": result.negotiations,
+        "rebalances": result.rebalances,
         "wall_time_s": round(wall, 3),
         "throughput_txn_per_s": round(result.total_throughput(), 3),
         "sync_ratio": round(result.sync_ratio, 5),
@@ -159,6 +226,8 @@ def run_scenario(name: str, check_microbench: dict | None = None) -> dict:
         "p99_ms": round(stats.p99, 3),
         "check_microbench": check_microbench or _check_microbench(),
     }
+    record.update(extras)
+    return record
 
 
 def bench_path(out_dir: Path, scenario: str) -> Path:

@@ -33,6 +33,16 @@ cleanup phase's election real:
    treaties or contends again in the next wave (keeping its original
    timestamp, so seniority is preserved).
 
+With adaptive reallocation enabled, *proactive treaty refreshes*
+arbitrate through the same machinery: a committed transaction that
+pushes a clause below the low-watermark becomes a rebalance contender
+in the next election, its closure conflict-grouped with the wave's
+violators.  A winning refresh runs sync + regeneration (no T' -- it
+aborted nothing); a losing refresh concedes with a
+:class:`~repro.protocol.messages.VoteReply` like any loser and
+re-checks the watermark after the winner's treaties install (which
+usually clears the breach).
+
 Every step iterates in sorted deterministic order, so two runs over
 the same window produce identical traces and states -- the seeded
 arbitration order the simulator's determinism tests rely on.
@@ -68,6 +78,11 @@ class WindowOutcome:
     commit_seq: int = -1
     #: transport-trace index of the won negotiation (-1 otherwise)
     negotiation_index: int = -1
+    #: proactive treaty refreshes this *committed* transaction won by
+    #: breaching the adaptive low-watermark
+    rebalances: int = 0
+    #: participants of the won refresh (empty when none ran)
+    rebalance_participants: tuple[int, ...] = ()
 
 
 @dataclass
@@ -76,7 +91,7 @@ class GroupOutcome:
 
     wave: int
     winner: int  # request index
-    losers: tuple[int, ...]  # request indices
+    losers: tuple[int, ...]  # request indices of losing *violators*
     #: origin sites of every contender (the electorate)
     contender_sites: tuple[int, ...]
     #: participant set of the winner's negotiation
@@ -84,10 +99,16 @@ class GroupOutcome:
     #: merged closure scope the transport round was opened with
     scope: tuple[int, ...]
     negotiation_index: int
+    #: True when the group's winner was a proactive treaty refresh
+    #: (adaptive reallocation) rather than a violation cleanup
+    rebalance: bool = False
+    #: request indices of committed transactions whose refresh desire
+    #: lost this election (they concede and re-check next wave)
+    rebalance_losers: tuple[int, ...] = ()
 
     @property
     def members(self) -> tuple[int, ...]:
-        return (self.winner,) + self.losers
+        return (self.winner,) + self.losers + self.rebalance_losers
 
 
 @dataclass
@@ -109,7 +130,7 @@ class WindowResult:
 
 @dataclass
 class _Contender:
-    """A violator awaiting election."""
+    """A violator -- or a proactive-refresh desire -- awaiting election."""
 
     index: int
     tx_name: str
@@ -117,6 +138,15 @@ class _Contender:
     origin: int
     timestamp: int
     txn_seq: int
+    #: True for a proactive rebalance: the transaction at ``index``
+    #: already committed but breached the adaptive low-watermark, and
+    #: its refresh must win a slot like any other negotiation
+    rebalance: bool = False
+    #: closure seed (violation seed, or breached clause objects plus
+    #: the origin's dirty set for a rebalance)
+    seed: set[str] = field(default_factory=set)
+    #: elections this refresh desire has lost (retries are capped)
+    lost: int = 0
     participants: set[int] = field(default_factory=set)
     affected: set[str] = field(default_factory=set)
 
@@ -141,29 +171,87 @@ class ConcurrentCluster(HomeostasisCluster):
 
     def _execute_round(
         self, entries: list[_Contender]
-    ) -> tuple[list[tuple[_Contender, tuple[int, ...]]], list[tuple[_Contender, SiteResult]]]:
+    ) -> tuple[list[tuple[_Contender, SiteResult]], list[tuple[_Contender, SiteResult]]]:
         """Optimistically execute the entries at their origin sites in
         window order; return (committed, violators)."""
-        committed: list[tuple[_Contender, tuple[int, ...]]] = []
+        committed: list[tuple[_Contender, SiteResult]] = []
         violators: list[tuple[_Contender, SiteResult]] = []
         for entry in entries:
             result = self.sites[entry.origin].execute(entry.tx_name, entry.params)
             if result.committed:
-                committed.append((entry, result.log))
+                self.demand.observe(result.written)
+                committed.append((entry, result))
             else:
+                self.demand.observe(result.attempted_writes)
                 violators.append((entry, result))
         return committed, violators
 
+    def _rebalance_contenders(
+        self,
+        committed: list[tuple[_Contender, SiteResult]],
+        carried: list[_Contender],
+    ) -> list[_Contender]:
+        """Proactive-refresh desires entering this wave's elections.
+
+        Fresh desires come from commits that just breached the
+        low-watermark (one per origin site per wave -- a refresh
+        re-splits every hot clause of that site at once); carried
+        desires are last wave's election losers, re-checked against
+        the treaties the winners installed (a refresh that covered
+        their sites usually cleared the breach) and dropped after
+        three lost elections -- the next window re-triggers if the
+        pressure persists.
+        """
+        if self.adaptive is None:
+            return []
+        out: list[_Contender] = []
+        claimed: set[int] = set()
+        for entry in carried:
+            breached = self._watermark_breaches(
+                self.sites[entry.origin], set(entry.seed)
+            )
+            if breached and entry.lost < 3 and entry.origin not in claimed:
+                claimed.add(entry.origin)
+                entry.seed = breached | set(
+                    self.sites[entry.origin].dirty_owned_values()
+                )
+                out.append(entry)
+        for entry, result in committed:
+            if entry.origin in claimed:
+                continue
+            breached = self._watermark_breaches(
+                self.sites[entry.origin], result.written
+            )
+            if breached:
+                claimed.add(entry.origin)
+                out.append(
+                    _Contender(
+                        index=entry.index,
+                        tx_name=entry.tx_name,
+                        params=entry.params,
+                        origin=entry.origin,
+                        timestamp=entry.timestamp,
+                        txn_seq=next(self._txn_seq),
+                        rebalance=True,
+                        seed=breached
+                        | set(self.sites[entry.origin].dirty_owned_values()),
+                    )
+                )
+        return out
+
     def _conflict_groups(
-        self, contenders: list[tuple[_Contender, SiteResult]]
+        self, contenders: list[_Contender]
     ) -> list[list[_Contender]]:
         """Partition contenders into groups of transitively-overlapping
-        participant closures (disjoint groups negotiate in parallel)."""
+        participant closures (disjoint groups negotiate in parallel).
+        Every contender's ``seed`` must already be set; violation
+        cleanups and proactive refreshes arbitrate in the same groups.
+        """
         entries: list[_Contender] = []
-        for entry, result in contenders:
-            server = self.sites[entry.origin]
-            seed = self._violation_seed(server, result)
-            participants, closure = self._participants_for(entry.origin, seed)
+        for entry in contenders:
+            participants, closure = self._participants_for(
+                entry.origin, set(entry.seed)
+            )
             entry.participants = participants
             entry.affected = self.generator.objects_touching(closure) | closure
             entries.append(entry)
@@ -224,16 +312,22 @@ class ConcurrentCluster(HomeostasisCluster):
                         winner_txn=winner.txn_seq,
                     )
                 )
-        # The winner announces T' to its non-contender participants.
+        # The winner announces itself to its non-contender
+        # participants: T' for a cleanup, the refresh for a rebalance.
         electorate = {c.origin for c in group}
         announce = set(winner.participants) - electorate
-        self._announce_winner(
-            winner.origin,
-            winner.tx_name,
-            announce | {winner.origin},
-            timestamp=winner.timestamp,
-            txn_seq=winner.txn_seq,
-        )
+        if winner.rebalance:
+            self._announce_rebalance(
+                winner.origin, announce | {winner.origin}, set(winner.seed)
+            )
+        else:
+            self._announce_winner(
+                winner.origin,
+                winner.tx_name,
+                announce | {winner.origin},
+                timestamp=winner.timestamp,
+                txn_seq=winner.txn_seq,
+            )
 
     def submit_window(
         self,
@@ -273,22 +367,33 @@ class ConcurrentCluster(HomeostasisCluster):
         result = WindowResult(outcomes=outcomes)
         commit_seq = itertools.count()
         pending = entries
+        carried_rebalances: list[_Contender] = []
         wave = 0
-        while pending:
-            if wave > len(requests) + 1:
+        while pending or carried_rebalances:
+            # Rebalance retries are capped, so waves are bounded by the
+            # violator chains plus a constant tail of refreshes.
+            if wave > 2 * (len(requests) + 1):
                 raise ProtocolError(
                     "window did not quiesce: livelocked elections"
                 )
             committed, violators = self._execute_round(pending)
-            for entry, log in committed:
+            for entry, res in committed:
                 self.stats.committed_local += 1
                 out = outcomes[entry.index]
-                out.log = log
+                out.log = res.log
                 out.commit_seq = next(commit_seq)
                 result.commit_order.append(entry.index)
-            if not violators:
+            contenders: list[_Contender] = []
+            for entry, res in violators:
+                entry.seed = self._violation_seed(self.sites[entry.origin], res)
+                contenders.append(entry)
+            contenders.extend(
+                self._rebalance_contenders(committed, carried_rebalances)
+            )
+            carried_rebalances = []
+            if not contenders:
                 break
-            groups = self._conflict_groups(violators)
+            groups = self._conflict_groups(contenders)
             group_traces = []
             # Open every group's round before any closes: disjoint
             # closures negotiate in parallel, and the transport rejects
@@ -312,6 +417,11 @@ class ConcurrentCluster(HomeostasisCluster):
             executed = []
             for (group, _trace), dirty in zip(group_traces, synced_state):
                 winner = group[0]
+                if winner.rebalance:
+                    # A refresh aborts nothing, so there is no T' to
+                    # re-run -- the round is sync + regeneration only.
+                    executed.append((None, set(), dirty))
+                    continue
                 reference, written = self._cleanup_execute(
                     winner.origin, winner.tx_name, winner.params, winner.participants
                 )
@@ -322,15 +432,16 @@ class ConcurrentCluster(HomeostasisCluster):
                 group_traces, executed
             ):
                 winner = group[0]
-                self._check_closure_covered(
-                    winner.tx_name, written, winner.participants
-                )
+                if not winner.rebalance:
+                    self._check_closure_covered(
+                        winner.tx_name, written, winner.participants
+                    )
             for (group, _trace), (_ref, written, dirty) in zip(
                 group_traces, executed
             ):
                 winner = group[0]
                 self._install_new_treaty(
-                    dirty=dirty | written,
+                    dirty=dirty | written | set(winner.seed if winner.rebalance else ()),
                     participants=winner.participants,
                     origin=winner.origin,
                 )
@@ -343,27 +454,44 @@ class ConcurrentCluster(HomeostasisCluster):
                 group_traces, executed
             ):
                 winner = group[0]
-                self.stats.negotiations += 1
                 out = outcomes[winner.index]
-                out.log = reference
-                out.synced = True
-                out.participants = tuple(sorted(winner.participants))
-                out.wave = wave
-                out.commit_seq = next(commit_seq)
-                out.negotiation_index = trace.index
-                result.commit_order.append(winner.index)
+                if winner.rebalance:
+                    self.stats.rebalances += 1
+                    out.rebalances += 1
+                    out.rebalance_participants = tuple(sorted(winner.participants))
+                else:
+                    self.stats.negotiations += 1
+                    out.log = reference
+                    out.synced = True
+                    out.participants = tuple(sorted(winner.participants))
+                    out.wave = wave
+                    out.commit_seq = next(commit_seq)
+                    out.negotiation_index = trace.index
+                    result.commit_order.append(winner.index)
+                violator_losers: list[_Contender] = []
+                rebalance_losers: list[_Contender] = []
                 for loser in group[1:]:
-                    outcomes[loser.index].lost_votes += 1
-                    losers.append(loser)
+                    if loser.rebalance:
+                        # The refresh concedes; it re-checks next wave
+                        # against the treaties this wave installed.
+                        loser.lost += 1
+                        rebalance_losers.append(loser)
+                        carried_rebalances.append(loser)
+                    else:
+                        outcomes[loser.index].lost_votes += 1
+                        violator_losers.append(loser)
+                        losers.append(loser)
                 wave_groups.append(
                     GroupOutcome(
                         wave=wave,
                         winner=winner.index,
-                        losers=tuple(c.index for c in group[1:]),
+                        losers=tuple(c.index for c in violator_losers),
                         contender_sites=tuple(sorted({c.origin for c in group})),
                         participants=tuple(sorted(winner.participants)),
                         scope=tuple(sorted(trace.scope or ())),
                         negotiation_index=trace.index,
+                        rebalance=winner.rebalance,
+                        rebalance_losers=tuple(c.index for c in rebalance_losers),
                     )
                 )
             result.waves.append(wave_groups)

@@ -36,6 +36,18 @@ sends every message a distributed deployment would send through a
 typed :class:`~repro.protocol.transport.Transport`; the discrete-
 event simulator prices the recorded trace with per-edge RTTs.
 
+**Adaptive reallocation** (the ``demand`` strategy plus
+:class:`AdaptiveSettings`) closes the loop between execution and
+configuration: a :class:`DemandEstimator` tracks per-object write
+rates from the commit trace, negotiations size each site's split of
+the invariant slack proportionally to its observed rate (with
+starvation floors; see
+:func:`repro.treaty.optimize.demand_configuration`), and a commit
+that pushes a clause below its low-watermark triggers a proactive,
+participant-scoped *rebalance* round (``RebalanceRequest`` + scoped
+sync + regeneration) that shifts hoarded budget from cold sites to
+hot ones before any transaction has to abort.
+
 Treaty generation is *incremental*: factors of the joint table whose
 objects did not change since the previous round keep their clauses
 and configuration verbatim (their per-factor treaty is a pure
@@ -61,14 +73,16 @@ from repro.logic.terms import ObjT
 from repro.protocol.messages import (
     CleanupRun,
     MessageStats,
+    RebalanceRequest,
     SyncBroadcast,
     TreatyInstall,
     Vote,
 )
-from repro.protocol.site import SiteResult, SiteServer
+from repro.protocol.site import SiteResult, SiteServer, clause_slack
 from repro.protocol.transport import Transport
 from repro.treaty.config import (
     Configuration,
+    check_h1_algebraic,
     default_configuration,
     equal_split_configuration,
 )
@@ -76,13 +90,14 @@ from repro.treaty.optimize import (
     OptimizerStats,
     WorkloadModel,
     configure_from_samples,
+    demand_configuration,
     sample_executions,
 )
 from repro.treaty.table import TreatyTable
 from repro.treaty.templates import TreatyTemplates, build_templates
 
 #: Recognized treaty strategies.
-TreatyStrategy = str  # 'default' | 'equal-split' | 'optimized'
+TreatyStrategy = str  # 'default' | 'equal-split' | 'optimized' | 'demand'
 
 
 class ProtocolError(Exception):
@@ -100,6 +115,81 @@ class ClusterResult:
     #: sites the negotiation involved (empty for local commits); the
     #: simulator prices the round from the RTT edges between them
     participants: tuple[int, ...] = ()
+    #: participants of the proactive treaty refresh this *committed*
+    #: transaction triggered by breaching the adaptive low-watermark
+    #: (empty when no refresh ran); priced like any negotiation
+    rebalanced: tuple[int, ...] = ()
+
+
+@dataclass
+class DemandEstimator:
+    """Online per-object write-rate estimator over the commit trace.
+
+    The negotiation input of the adaptive (``demand``) strategy: every
+    committed or violating attempt bumps an exponentially-decayed
+    counter per written object, and
+    :func:`~repro.treaty.optimize.demand_configuration` sums the rates
+    of each site's clause objects to weight its share of the slack.
+    Because treaty objects are site-owned (the Appendix B transform
+    gives every site its own delta objects), per-object rates *are*
+    per-site, per-template consumption rates.
+
+    This replaces the a-priori :class:`SequenceWorkloadModel` as the
+    thing negotiations are configured from: the model guessed the
+    future workload at build time, the estimator measures the one
+    actually running.  Decay is lazy (applied on access from the step
+    distance), so ``observe`` is O(write set).
+    """
+
+    #: observations after which an unrefreshed count loses half its
+    #: weight -- the window the estimator "remembers" demand over
+    halflife: int = 512
+    _counts: dict[str, tuple[float, int]] = field(default_factory=dict)
+    _step: int = 0
+    #: total observations (commits + violating attempts) seen
+    observed: int = 0
+
+    def __post_init__(self) -> None:
+        self._decay = 0.5 ** (1.0 / self.halflife)
+
+    def observe(self, written) -> None:
+        """Record one attempt's write set."""
+        self._step += 1
+        self.observed += 1
+        for name in written:
+            count, last = self._counts.get(name, (0.0, self._step))
+            decayed = count * self._decay ** (self._step - last)
+            self._counts[name] = (decayed + 1.0, self._step)
+
+    def rate(self, name: str) -> float:
+        """The decayed write count of one object (0.0 if never seen)."""
+        entry = self._counts.get(name)
+        if entry is None:
+            return 0.0
+        count, last = entry
+        return count * self._decay ** (self._step - last)
+
+
+@dataclass
+class AdaptiveSettings:
+    """Knobs of the adaptive reallocation subsystem.
+
+    ``watermark`` is the proactive-refresh trigger: after a commit, if
+    any ``<=``-clause of the origin's local treaty touched by the
+    write set has remaining slack below ``watermark`` times the slack
+    it was granted at install time, the site requests a
+    participant-scoped rebalance *before* the budget runs out --
+    Soethout-style local coordination avoidance: pay a scoped refresh
+    now instead of an abort + cleanup round later.  Clauses whose
+    install-time grant was below ``min_headroom`` are exempt (a
+    refresh cannot stretch a budget the global slack cannot fund; the
+    violation path handles those).
+    """
+
+    watermark: float = 0.25
+    min_headroom: int = 4
+    #: estimator memory, in observations (see :class:`DemandEstimator`)
+    halflife: int = 512
 
 
 @dataclass
@@ -143,6 +233,9 @@ class TreatyGenerator:
     sites: tuple[int, ...]
     strategy: TreatyStrategy = "default"
     optimizer: OptimizerSettings | None = None
+    #: online demand estimator feeding the 'demand' strategy (the
+    #: cluster wires its own estimator in at construction)
+    demand: DemandEstimator | None = None
     #: family transactions, for optimizer workload simulation
     families: dict[str, Transaction] = field(default_factory=dict)
     arrays: Mapping[str, tuple[int, ...]] = field(default_factory=dict)
@@ -285,6 +378,10 @@ class TreatyGenerator:
             return default_configuration(templates, getobj)
         if self.strategy == "equal-split":
             return equal_split_configuration(templates, getobj)
+        if self.strategy == "demand":
+            if self.demand is None:
+                raise ProtocolError("strategy 'demand' requires a DemandEstimator")
+            return demand_configuration(templates, getobj, self.demand.rate)
         if self.strategy == "optimized":
             if self.optimizer is None:
                 raise ProtocolError("strategy 'optimized' requires OptimizerSettings")
@@ -335,6 +432,16 @@ class TreatyGenerator:
                 and idx in self._cache
                 and not (self._objects_of_instance(idx) & dirty)
             ):
+                continue
+            if self.strategy == "demand":
+                # The demand-weighted configuration is a function of
+                # the *estimator*, not just the instance's object
+                # values, so value-keyed memoization would resurrect
+                # splits computed under stale demand (exactly what a
+                # rebalance exists to replace).  Dirty instances
+                # recompute unconditionally; clean ones still reuse
+                # their cached piece via the check above.
+                self._cache[idx] = self._compute_instance(idx, getobj, db_snapshot)
                 continue
             memo_key = (idx, tuple(getobj(n) for n in self._instance_keys[idx]))
             piece = self._memo.get(memo_key)
@@ -405,6 +512,8 @@ class ClusterStats:
     submitted: int = 0
     committed_local: int = 0
     negotiations: int = 0
+    #: proactive adaptive treaty refreshes (no violation, no abort)
+    rebalances: int = 0
     rounds: int = 0
     transport: Transport = field(default_factory=Transport)
 
@@ -434,12 +543,22 @@ class HomeostasisCluster:
         post_sync_hooks: Sequence[Callable[["HomeostasisCluster"], None]] = (),
         validate: bool = False,
         deterministic_solver: bool = True,
+        adaptive: AdaptiveSettings | None = None,
         transport: Transport | None = None,
     ) -> None:
         self.site_ids = tuple(site_ids)
         self.locate = locate
         self.tx_home = dict(tx_home)
         self.generator = generator
+        self.adaptive = adaptive
+        # The estimator always runs (observation is O(write set)); the
+        # 'demand' strategy reads it at negotiation time and the
+        # watermark refresh path is gated on ``adaptive``.
+        self.demand = DemandEstimator(
+            halflife=adaptive.halflife if adaptive else DemandEstimator.halflife
+        )
+        if generator.demand is None:
+            generator.demand = self.demand
         self.transport = transport if transport is not None else Transport()
         self.stats = ClusterStats(transport=self.transport)
         self.treaty_table: TreatyTable | None = None
@@ -533,7 +652,40 @@ class HomeostasisCluster:
                     )
                 )
         if self.validate:
+            # The global treaty is never weakened: every install --
+            # violation cleanup, forced sync, or adaptive rebalance --
+            # must produce locals that still imply the global treaty
+            # (H1, a state-independent identity over the configuration)
+            # and hold on the current database (H2).  H2 is checked
+            # per site against its *own* authoritative state: a site's
+            # local treaty mentions only objects it owns, and scoped
+            # negotiations leave non-participants' remote snapshots
+            # legitimately stale, so evaluating everything through one
+            # origin would reject valid installs.
+            if not check_h1_algebraic(table.templates, table.configuration):
+                raise ProtocolError(
+                    f"H1 violated by round {table.round_number}: local "
+                    "treaties no longer imply the global treaty"
+                )
+            self._assert_h2_locally(participants, table.round_number)
             self._assert_untouched_locals(participants, table)
+
+    def _assert_h2_locally(self, sites: set[int], round_number: int) -> None:
+        """H2 over the given sites: each one's installed local treaty
+        holds on its own state.  Checked for a round's participants at
+        install time (their state is final); sites outside the round
+        hold inductively -- or are mid-phase in a parallel group of
+        the same wave, whose own install asserts them.  With H1 this
+        implies the global treaty holds on the authoritative database.
+        """
+        for sid in sorted(sites):
+            server = self.sites[sid]
+            treaty = server.local_treaty
+            if treaty is not None and not treaty.holds(server.engine.peek):
+                raise ProtocolError(
+                    f"H2 violated by round {round_number}: site {sid}'s "
+                    "local treaty fails on its own state"
+                )
 
     def _synchronize(
         self,
@@ -730,6 +882,80 @@ class HomeostasisCluster:
                 f"non-participant sites {sorted(uncovered)}"
             )
 
+    # -- adaptive reallocation ----------------------------------------------------
+    #
+    # Demand-proportional slack (Bailis-style coordination avoidance)
+    # needs two runtime pieces on top of the 'demand' strategy: the
+    # estimator observing the commit trace, and a proactive refresh
+    # that rebalances a clause *before* its budget runs out.  The
+    # refresh reuses the cleanup round's phases (announce, scoped
+    # synchronize, regenerate + install) minus the vote and the T'
+    # re-run: nothing aborted, so there is nothing to re-execute.
+
+    def _watermark_breaches(
+        self, server: SiteServer, written: frozenset[str] | set[str]
+    ) -> set[str]:
+        """Objects of every ``<=``-clause of ``server``'s local treaty
+        that a commit just pushed below the low-watermark.
+
+        A clause breaches when its remaining slack drops below
+        ``watermark`` times the slack it was granted at install time
+        (clauses granted less than ``min_headroom`` are exempt -- the
+        global slack cannot fund a useful refresh for them).  Only
+        clauses touching the write set are checked, via the same
+        per-object clause index the commit check uses.
+        """
+        treaty = server.local_treaty
+        if treaty is None or self.adaptive is None:
+            return set()
+        settings = self.adaptive
+        peek = server.engine.peek
+        index = treaty._object_index()
+        seen: set[int] = set()
+        breached: set[str] = set()
+        for name in written:
+            for con, _check in index.get(name, ()):
+                if con.op != "<=" or id(con) in seen:
+                    continue
+                seen.add(id(con))
+                granted = server.install_headroom.get(con)
+                if granted is None or granted < settings.min_headroom:
+                    continue
+                if clause_slack(con, peek) < settings.watermark * granted:
+                    for var in con.variables():
+                        breached.add(var.name)
+        return breached
+
+    def _announce_rebalance(
+        self, origin: int, participants: set[int], breached: set[str]
+    ) -> None:
+        """The refreshing site announces the rebalance to the other
+        participants of its closure (the adaptive analogue of the
+        winner announcement)."""
+        objects = tuple(sorted(breached))
+        for sid in sorted(participants):
+            if sid != origin:
+                self.transport.send(
+                    RebalanceRequest(src=origin, dst=sid, objects=objects)
+                )
+
+    def _rebalance(self, origin: int, breached: set[str]) -> tuple[int, ...]:
+        """One proactive refresh round: scoped sync + demand-weighted
+        regeneration over the participant closure of the breached
+        clauses.  Returns the participant set (for simulator pricing)."""
+        server = self.sites[origin]
+        seed = set(breached) | set(server.dirty_owned_values())
+        participants, closure = self._participants_for(origin, seed)
+        affected = self.generator.objects_touching(closure) | closure
+        self.stats.rebalances += 1
+        with self.transport.negotiation("rebalance", origin):
+            self._announce_rebalance(origin, participants, breached)
+            _updates, dirty = self._synchronize(participants, affected=affected)
+            self._install_new_treaty(
+                dirty=dirty | seed, participants=participants, origin=origin
+            )
+        return tuple(sorted(participants))
+
     # -- client API ---------------------------------------------------------------
 
     def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
@@ -743,8 +969,18 @@ class HomeostasisCluster:
         result: SiteResult = server.execute(tx_name, params)
         if result.committed:
             self.stats.committed_local += 1
+            self.demand.observe(result.written)
+            rebalanced: tuple[int, ...] = ()
+            if self.adaptive is not None:
+                breached = self._watermark_breaches(server, result.written)
+                if breached:
+                    rebalanced = self._rebalance(origin, breached)
             return ClusterResult(
-                log=result.log, site=origin, synced=False, row_index=result.row_index
+                log=result.log,
+                site=origin,
+                synced=False,
+                row_index=result.row_index,
+                rebalanced=rebalanced,
             )
 
         # Cleanup phase: T' was aborted; submit() is one-at-a-time so
@@ -753,6 +989,9 @@ class HomeostasisCluster:
         # neither hear about it nor change state, and their installed
         # treaties stay valid.
         self.stats.negotiations += 1
+        # A violating attempt is demand too -- the re-negotiation's
+        # configuration should see the burst that exhausted the budget.
+        self.demand.observe(result.attempted_writes)
         seed = self._violation_seed(server, result)
         participants, closure = self._participants_for(origin, seed)
         affected = self.generator.objects_touching(closure) | closure

@@ -104,6 +104,24 @@ class VoteReply(Message):
 
 
 @dataclass(frozen=True)
+class RebalanceRequest(Message):
+    """Proactive treaty-refresh announcement (adaptive reallocation).
+
+    Sent by a site whose remaining slack on a treaty clause fell below
+    the low-watermark *before* any violation occurred: the origin asks
+    the participants of the affected factors to run a scoped
+    synchronization + treaty regeneration round so the demand-weighted
+    configuration can shift unused budget from cold sites to the hot
+    one.  ``objects`` names the clause objects that breached the
+    watermark (the seed of the participant closure).  No transaction
+    aborts and no cleanup re-run happens -- the round is sync +
+    install only.
+    """
+
+    objects: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class CleanupRun(Message):
     """Instruction to re-run the winning transaction T' in full on the
     synchronized state (carries the transaction id and parameters)."""
@@ -140,6 +158,7 @@ class MessageStats:
     treaty_updates: int = 0  # new-treaty propagation messages
     vote_messages: int = 0  # violation-winner election messages
     vote_replies: int = 0  # arbitration concessions from losing contenders
+    rebalance_requests: int = 0  # proactive treaty-refresh announcements
     cleanup_messages: int = 0  # cleanup-run (re-execute T') messages
     prepare_messages: int = 0  # 2PC phase-one messages
     decision_messages: int = 0  # 2PC phase-two messages
@@ -150,6 +169,7 @@ class MessageStats:
         TreatyInstall: "treaty_updates",
         Vote: "vote_messages",
         VoteReply: "vote_replies",
+        RebalanceRequest: "rebalance_requests",
         CleanupRun: "cleanup_messages",
         Prepare: "prepare_messages",
         Decision: "decision_messages",
@@ -161,6 +181,7 @@ class MessageStats:
             + self.treaty_updates
             + self.vote_messages
             + self.vote_replies
+            + self.rebalance_requests
             + self.cleanup_messages
             + self.prepare_messages
             + self.decision_messages

@@ -20,10 +20,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.lang.interp import ExecContext, execute
+from repro.logic.linear import LinearConstraint
 from repro.protocol.catalog import StoredProcedureCatalog
 from repro.protocol.messages import (
     CleanupRun,
     Message,
+    RebalanceRequest,
     SyncBroadcast,
     TreatyInstall,
     Vote,
@@ -31,6 +33,15 @@ from repro.protocol.messages import (
 )
 from repro.storage.engine import LocalEngine
 from repro.treaty.table import LocalTreaty
+
+
+def clause_slack(con: LinearConstraint, getobj: Callable[[str], int]) -> int:
+    """Remaining headroom of one ``<=``-clause on the given state:
+    ``bound - sum(d_i * D(x_i))`` (negative means violated)."""
+    value = 0
+    for var, coeff in con.expr.coeffs:
+        value += coeff * getobj(var.name)
+    return con.bound - value
 
 
 @dataclass
@@ -47,6 +58,9 @@ class SiteResult:
     #: write set of the aborted attempt -- T' re-runs after sync and
     #: its writes must be covered by the participant closure up front
     attempted_writes: frozenset[str] = frozenset()
+    #: write set of a *committed* attempt -- feeds the online demand
+    #: estimator and the adaptive low-watermark slack check
+    written: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -61,8 +75,26 @@ class SiteServer:
     def owns(self, name: str) -> bool:
         return self.locate(name) == self.site_id
 
+    #: per-clause headroom at install time (the allocation the adaptive
+    #: low-watermark compares remaining slack against)
+    install_headroom: dict[LinearConstraint, int] = field(default_factory=dict)
+
     def install_treaty(self, treaty: LocalTreaty) -> None:
+        """Install a new local treaty and checkpoint each ``<=``-clause's
+        headroom on the install-time (synchronized) state.
+
+        The headroom snapshot is what makes the low-watermark check a
+        *relative* trigger: "this clause has burned through 1 - w of
+        the budget the last negotiation granted", independent of the
+        clause's absolute scale.
+        """
         self.local_treaty = treaty
+        peek = self.engine.peek
+        self.install_headroom = {
+            con: clause_slack(con, peek)
+            for con in treaty.constraints
+            if con.op == "<="
+        }
 
     # -- the online execution path (Section 5.1) ---------------------------------
 
@@ -97,9 +129,14 @@ class SiteServer:
                         attempted_writes=attempted,
                     )
             log = tuple(txn.log)
+            written = frozenset(txn.written)
             txn.commit()
             return SiteResult(
-                committed=True, violated=False, log=log, row_index=proc.row_index
+                committed=True,
+                violated=False,
+                log=log,
+                row_index=proc.row_index,
+                written=written,
             )
         except BaseException:
             if txn.active:
@@ -149,6 +186,8 @@ class SiteServer:
         - ``Vote`` acknowledges a contender's priority claim in the
           violation-winner election;
         - ``VoteReply`` records a losing contender's concession;
+        - ``RebalanceRequest`` acknowledges a proactive treaty-refresh
+          announcement (adaptive reallocation);
         - ``CleanupRun`` executes T' in full and replies with the
           (log, written) pair the coordinator cross-checks.
         """
@@ -163,6 +202,11 @@ class SiteServer:
         if isinstance(msg, Vote):
             return True
         if isinstance(msg, VoteReply):
+            return True
+        if isinstance(msg, RebalanceRequest):
+            # Acknowledge the proactive refresh; the actual state
+            # exchange and treaty install arrive as the round's
+            # SyncBroadcast / regeneration, like any negotiation.
             return True
         if isinstance(msg, CleanupRun):
             return self.run_cleanup_transaction(msg.tx_name, dict(msg.params))

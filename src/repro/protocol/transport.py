@@ -52,8 +52,11 @@ class Endpoint(Protocol):
 
 #: Negotiation kinds that constitute a synchronization round (the
 #: quantity the paper reports as "negotiations"); '2pc' groups are
-#: per-transaction commits, not treaty negotiations.
-SYNC_KINDS = ("cleanup", "sync")
+#: per-transaction commits, not treaty negotiations.  'rebalance' is
+#: the adaptive proactive refresh -- no transaction aborted, but the
+#: round exchanges state and installs treaties like any other, so it
+#: counts as coordination.
+SYNC_KINDS = ("cleanup", "sync", "rebalance")
 
 
 @dataclass

@@ -40,6 +40,12 @@ class TxnRecord:
     #: vote-exchange round trip among racing violators (concurrent
     #: runtime only; 0 for unopposed negotiations)
     vote_ms: float = 0.0
+    #: proactive treaty refreshes this committed transaction triggered
+    #: by breaching the adaptive low-watermark
+    rebalances: int = 0
+    #: scoped barrier-round cost of those refreshes (priced per edge,
+    #: like any negotiation; charged to the triggering transaction)
+    rebalance_ms: float = 0.0
     retries: int = 0
     #: sites the negotiation involved (empty for local commits or
     #: kernels that do not report participant-scoped rounds)
@@ -90,6 +96,8 @@ class SimResult:
     records: list[TxnRecord] = field(default_factory=list)
     committed: int = 0
     negotiations: int = 0
+    #: proactive adaptive treaty refreshes (no violation, no abort)
+    rebalances: int = 0
     aborted_attempts: int = 0
     failed: int = 0
     measured_from_ms: float = 0.0
@@ -134,6 +142,17 @@ class SimResult:
             return 0.0
         synced = sum(1 for r in measured if r.kind == "sync")
         return synced / len(measured)
+
+    @property
+    def rebalance_ratio(self) -> float:
+        """Proactive refreshes per measured transaction.  Reported next
+        to :attr:`sync_ratio` so adaptive runs cannot hide coordination
+        by relabelling violations as refreshes -- the honest total is
+        the sum of both ratios."""
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(r.rebalances for r in measured) / len(measured)
 
     def participant_histogram(self) -> dict[int, int]:
         """Negotiation count by participant-set size (how scoped the

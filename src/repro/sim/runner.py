@@ -79,7 +79,10 @@ class SimConfig:
 
     mode: str  # 'homeo' | 'opt' | '2pc' | 'local'
     num_replicas: int = 2
-    clients_per_replica: int = 16
+    #: closed-loop clients at each replica: one count for all, or a
+    #: per-replica sequence (skewed offered load, e.g. the adaptive
+    #: reallocation experiments' Zipf site weights)
+    clients_per_replica: int | tuple[int, ...] = 16
     rtt_ms: float = 100.0
     rtt_matrix: list[list[float]] | None = None
     cores_per_replica: int = 32
@@ -102,6 +105,18 @@ class SimConfig:
         if self.rtt_matrix is not None:
             return self.rtt_matrix
         return uniform_rtt_matrix(self.num_replicas, self.rtt_ms)
+
+    def client_counts(self) -> list[int]:
+        """Per-replica closed-loop client counts."""
+        if isinstance(self.clients_per_replica, int):
+            return [self.clients_per_replica] * self.num_replicas
+        counts = [int(c) for c in self.clients_per_replica]
+        if len(counts) != self.num_replicas:
+            raise ValueError(
+                f"clients_per_replica has {len(counts)} entries for "
+                f"{self.num_replicas} replicas"
+            )
+        return counts
 
 
 def simulate(
@@ -132,8 +147,8 @@ def simulate(
     # Client heap: (ready_time, client_id, replica).
     clients: list[tuple[float, int, int]] = []
     cid = 0
-    for replica in range(config.num_replicas):
-        for _ in range(config.clients_per_replica):
+    for replica, count in enumerate(config.client_counts()):
+        for _ in range(count):
             # Small jitter avoids a lockstep start.
             clients.append((rng.uniform(0.0, 1.0), cid, replica))
             cid += 1
@@ -195,6 +210,7 @@ def simulate(
                 result.negotiations += 1
         else:
             result.failed += 1
+        result.rebalances += record.rebalances
         result.aborted_attempts += record.retries
         heapq.heappush(clients, (end, client, replica))
 
@@ -289,10 +305,13 @@ def _simulate_windows(
         comm = [0.0] * len(entries)
         vote = [0.0] * len(entries)
         solver_of = [0.0] * len(entries)
+        reb_count = [0] * len(entries)
+        reb_ms = [0.0] * len(entries)
         for wave_groups in window.waves:
             for grp in wave_groups:
                 # The election starts once every contender has locally
-                # discovered its violation...
+                # discovered its violation (or, for a proactive
+                # refresh, committed past the watermark)...
                 t0 = max(finish[m] for m in grp.members)
                 vote_ms = (
                     participants_rtt(matrix, grp.contender_sites)
@@ -305,7 +324,14 @@ def _simulate_windows(
                 neg_end = t0 + vote_ms + comm_ms + solver
                 w = grp.winner
                 wait[w] += t0 - finish[w]
-                vote[w], comm[w], solver_of[w] = vote_ms, comm_ms, solver
+                if grp.rebalance:
+                    # A won refresh: same barrier rounds, no abort and
+                    # no re-run; charged to the triggering commit.
+                    vote[w] += vote_ms
+                    reb_count[w] += 1
+                    reb_ms[w] += comm_ms + solver
+                else:
+                    vote[w], comm[w], solver_of[w] = vote_ms, comm_ms, solver
                 finish[w] = neg_end
                 # ...and each loser re-runs once the winner's treaty
                 # installs: queueing from the election it really lost.
@@ -334,6 +360,7 @@ def _simulate_windows(
                 replica=entry.replica, family=entry.request.family,
                 wait_ms=wait[i], local_ms=local[i], comm_ms=comm[i],
                 solver_ms=solver_of[i], vote_ms=vote[i],
+                rebalances=reb_count[i], rebalance_ms=reb_ms[i],
                 retries=outcome.lost_votes,
                 participants=outcome.participants, wave=outcome.wave,
             )
@@ -341,6 +368,7 @@ def _simulate_windows(
             result.committed += 1
             if kind == "sync":
                 result.negotiations += 1
+            result.rebalances += reb_count[i]
             result.aborted_attempts += outcome.lost_votes
             heapq.heappush(clients, (finish[i], entry.client, entry.replica))
 
@@ -418,12 +446,34 @@ def _run_protected(
 
     outcome = cluster.submit(request.tx_name, request.params)
     if not outcome.synced:
+        rebalanced = tuple(getattr(outcome, "rebalanced", ()) or ())
+        if not rebalanced:
+            record = TxnRecord(
+                start_ms=ready, end_ms=local_end, kind="local", replica=replica,
+                family=request.family,
+                wait_ms=start_exec - ready, local_ms=service,
+            )
+            return local_end, record
+        # The commit breached the adaptive low-watermark and triggered
+        # a proactive refresh: two scoped barrier rounds priced from
+        # the refresh's participant edges, charged to the triggering
+        # transaction and serialized behind the same per-key
+        # negotiation gates a cleanup round would use.
+        comm = negotiation_cost_ms(matrix, rebalanced, fallback_ms=sync_cost_ms)
+        refresh_start = local_end
+        for k in request.lock_keys:
+            refresh_start = max(refresh_start, lock_free.get(("neg", k), 0.0))
+        end = refresh_start + comm
+        for k in request.lock_keys:
+            lock_free[("neg", k)] = end
         record = TxnRecord(
-            start_ms=ready, end_ms=local_end, kind="local", replica=replica,
+            start_ms=ready, end_ms=end, kind="local", replica=replica,
             family=request.family,
-            wait_ms=start_exec - ready, local_ms=service,
+            wait_ms=(start_exec - ready) + (refresh_start - local_end),
+            local_ms=service,
+            rebalances=1, rebalance_ms=comm,
         )
-        return local_end, record
+        return end, record
 
     solver = config.solver_ms if config.mode == "homeo" else 0.0
     participants = tuple(getattr(outcome, "participants", ()) or ())

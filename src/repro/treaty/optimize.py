@@ -225,6 +225,122 @@ def configure_from_samples(
     return Configuration(values=values, strategy=f"optimized-{engine}"), stats
 
 
+def demand_split(slack: int, weights: Sequence[float], floor: int) -> list[int]:
+    """Split ``slack`` indivisible units proportionally to ``weights``.
+
+    The demand-proportional allocation at the heart of adaptive treaty
+    reallocation: each participant first receives a starvation floor
+    of ``min(floor, slack // len(weights))`` units (so a site whose
+    observed demand is zero still keeps headroom for its next burst),
+    and the remainder is distributed proportionally to the weights by
+    the largest-remainder method.  Invariants (property-tested in
+    ``tests/treaty/test_demand.py``):
+
+    - the shares sum to ``slack`` **exactly** -- no unit of global
+      slack is wasted (equal-split floors the quotient and strands up
+      to ``K - 1`` units) and none is invented, which is what keeps
+      the H1 configuration-sum identity exact;
+    - every share is non-negative, and at least the effective floor;
+    - all-zero weights degrade to an (exact) equal split.
+
+    Deterministic: remainder ties break by lowest index.
+    """
+    if slack < 0:
+        raise ValueError(f"cannot split negative slack {slack}")
+    count = len(weights)
+    if count == 0:
+        raise ValueError("cannot split slack among zero sites")
+    if any(w < 0 for w in weights):
+        raise ValueError("demand weights must be non-negative")
+    base = min(max(floor, 0), slack // count)
+    shares = [base] * count
+    remainder = slack - base * count
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        weights = [1.0] * count
+        total_weight = float(count)
+    quotas = [remainder * w / total_weight for w in weights]
+    for i in range(count):
+        shares[i] += int(quotas[i])
+    leftover = remainder - sum(int(q) for q in quotas)
+    by_remainder = sorted(
+        range(count), key=lambda i: (-(quotas[i] - int(quotas[i])), i)
+    )
+    for i in by_remainder[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+def demand_configuration(
+    templates: TreatyTemplates,
+    getobj: Callable[[str], int],
+    object_rate: Callable[[str], float],
+    floor: int | None = None,
+) -> Configuration:
+    """Demand-weighted configuration: size each site's split of every
+    ``<=``-clause proportionally to its *observed* consumption rate.
+
+    ``object_rate`` maps a ground object name to its estimated write
+    rate (the online :class:`~repro.protocol.homeostasis.DemandEstimator`
+    fed from the commit trace); a site's weight for a clause is the
+    summed rate of the objects in its local sub-expression.  Site ``k``
+    receives ``c_k = n - local_sum_k(D) - share_k`` where the shares
+    partition the global slack ``n - psi(D)`` exactly, so
+
+    - H1 is exact: ``sum_k c_k = K*n - psi(D) - slack = (K-1) * n``;
+    - H2 holds: ``share_k >= 0`` gives ``local_sum_k <= n - c_k``.
+
+    Two regularizers keep sparse, noisy rate estimates from producing
+    worse allocations than a blind equal split (per-object write
+    counts are tiny on workloads like TPC-C, where the item space is
+    wide and re-splits are frequent):
+
+    - Laplace-style smoothing (the same scheme the fast MaxSAT engine
+      applies to its sampled demand): every site's weight gains
+      ``total_rate / (2 K)``, so a site that happens to hold the only
+      few recent writes gets ~3/4 of the slack instead of all of it,
+      and uniform demand stays exactly uniform;
+    - a scale-aware starvation floor: with ``floor=None`` (default)
+      each site keeps at least ``max(1, slack // (4 K))`` units, ~6%
+      of the clause's budget at K=4, whatever the estimator says.
+
+    Equality clauses admit no slack and take the Theorem 4.3 frozen
+    default, exactly as in the other strategies.
+    """
+    config = Configuration(strategy="demand")
+    for clause in templates.clauses:
+        local_sums = {s: clause.local_sum_on(s, getobj) for s in clause.sites}
+        total = sum(local_sums.values())
+        if clause.op == "=":
+            for site in clause.sites:
+                config.values[clause.config_var(site)] = total - local_sums[site]
+            continue
+        slack = clause.bound - total
+        if slack < 0:
+            raise ValueError(
+                f"clause {clause.index} does not hold on the current database"
+            )
+        weights = []
+        for site in clause.sites:
+            expr = clause.site_exprs.get(site)
+            rate = 0.0
+            if expr is not None:
+                for var, _coeff in expr.coeffs:
+                    rate += object_rate(var.name)
+            weights.append(rate)
+        smoothing = sum(weights) / (2.0 * len(clause.sites))
+        weights = [w + smoothing for w in weights]
+        clause_floor = (
+            floor if floor is not None else max(1, slack // (4 * len(clause.sites)))
+        )
+        shares = demand_split(slack, weights, clause_floor)
+        for site, share in zip(clause.sites, shares):
+            config.values[clause.config_var(site)] = (
+                clause.bound - local_sums[site] - share
+            )
+    return config
+
+
 def optimize_configuration(
     templates: TreatyTemplates,
     getobj: Callable[[str], int],

@@ -32,6 +32,7 @@ from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
 from repro.protocol.concurrent import ConcurrentCluster
 from repro.protocol.homeostasis import (
+    AdaptiveSettings,
     HomeostasisCluster,
     OptimizerSettings,
     TreatyGenerator,
@@ -151,6 +152,7 @@ class GeoMicroWorkload:
         cost_factor: int = 3,
         seed: int = 0,
         validate: bool = False,
+        adaptive: AdaptiveSettings | None = None,
         cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         optimizer = None
@@ -177,6 +179,7 @@ class GeoMicroWorkload:
             tx_home=self.tx_home,
             generator=generator,
             validate=validate,
+            adaptive=adaptive,
         )
 
     def build_concurrent(self, **kwargs) -> ConcurrentCluster:

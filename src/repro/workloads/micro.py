@@ -31,6 +31,7 @@ from repro.lang.parser import parse_transaction
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
 from repro.protocol.concurrent import ConcurrentCluster
 from repro.protocol.homeostasis import (
+    AdaptiveSettings,
     HomeostasisCluster,
     OptimizerSettings,
     TreatyGenerator,
@@ -180,6 +181,7 @@ class MicroWorkload:
         cost_factor: int = 3,
         seed: int = 0,
         validate: bool = False,
+        adaptive: AdaptiveSettings | None = None,
         cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         optimizer = None
@@ -206,6 +208,7 @@ class MicroWorkload:
             tx_home=self.tx_home,
             generator=generator,
             validate=validate,
+            adaptive=adaptive,
         )
 
     def build_concurrent(self, **kwargs) -> ConcurrentCluster:

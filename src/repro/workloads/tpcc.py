@@ -45,6 +45,7 @@ from repro.lang.parser import parse_transaction
 from repro.logic.formula import BoolConst
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
 from repro.protocol.homeostasis import (
+    AdaptiveSettings,
     HomeostasisCluster,
     OptimizerSettings,
     TreatyGenerator,
@@ -322,6 +323,7 @@ class TpccWorkload:
         cost_factor: int = 3,
         seed: int = 0,
         validate: bool = False,
+        adaptive: AdaptiveSettings | None = None,
     ) -> HomeostasisCluster:
         optimizer = None
         if strategy == "optimized":
@@ -347,6 +349,7 @@ class TpccWorkload:
             tx_home=self.tx_home,
             generator=generator,
             validate=validate,
+            adaptive=adaptive,
         )
 
     def _untransformed_variants(self) -> dict[str, Transaction]:

@@ -1,0 +1,10 @@
+"""Test-suite configuration: hypothesis profiles.
+
+The default profile keeps the property suites fast on the PR critical
+path; the nightly workflow selects the deeper budget with
+``pytest --hypothesis-profile=nightly``.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("nightly", max_examples=500, deadline=None)
