@@ -14,6 +14,11 @@ Gates (per scenario):
   headline claim of adaptive reallocation, checked on the *current*
   run (both ratios are deterministic under the fixed seed, so the
   inequality is stable) in addition to the regression gates above;
+- scenarios carrying a ``fault_gate`` block (the faults scenario)
+  must show homeostasis **committing on the surviving sites during
+  the outage window while 2PC blocks**: homeo outage-window
+  availability strictly above 2PC's, above an absolute floor (0.5),
+  and 2PC's at most 0.05 -- all deterministic under the fixed seed;
 - the treaty-check microbenchmark ``speedup`` must stay at or above
   ``--min-speedup`` (default 1.5).  The recorded speedups sit at
   ~2.4-2.9x; the floor is deliberately below them because the speedup
@@ -89,6 +94,7 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
         )
 
     failures.extend(adaptive_gate_failures(name, current))
+    failures.extend(fault_gate_failures(name, current))
     return failures
 
 
@@ -109,6 +115,43 @@ def adaptive_gate_failures(name: str, current: dict) -> list[str]:
                 f"{name}/{workload}: adaptive sync ratio {adaptive:.4f} not "
                 f"strictly below static {static:.4f} at skew {gate.get('skew')}"
             )
+    return failures
+
+
+#: fault-gate thresholds: homeostasis must stay at least this
+#: available during the outage window, and 2PC at most this available
+#: (it blocks; its only commits race the crash boundary)
+FAULT_HOMEO_FLOOR = 0.5
+FAULT_TWOPC_CEILING = 0.05
+
+
+def fault_gate_failures(name: str, current: dict) -> list[str]:
+    """The homeostasis-survives-2PC-blocks gate over a record's
+    ``fault_gate`` block (empty for scenarios without one).  All three
+    checks run on the *current* record -- the quantities are
+    deterministic under the fixed seed, so the inequalities are stable
+    across machines."""
+    gate = current.get("fault_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    homeo = gate["homeo_outage_availability"]
+    twopc = gate["twopc_outage_availability"]
+    if not homeo > twopc:
+        failures.append(
+            f"{name}: homeo outage availability {homeo:.4f} not strictly "
+            f"above 2PC's {twopc:.4f}"
+        )
+    if homeo < FAULT_HOMEO_FLOOR:
+        failures.append(
+            f"{name}: homeo outage availability {homeo:.4f} below the "
+            f"{FAULT_HOMEO_FLOOR} floor (surviving sites should keep committing)"
+        )
+    if twopc > FAULT_TWOPC_CEILING:
+        failures.append(
+            f"{name}: 2PC outage availability {twopc:.4f} above the "
+            f"{FAULT_TWOPC_CEILING} ceiling (2PC should block during an outage)"
+        )
     return failures
 
 
@@ -168,6 +211,15 @@ def main(argv: list[str] | None = None) -> int:
                         f"{point['static_sync_ratio']:.4f} (rebalance ratio "
                         f"{point['adaptive_rebalance_ratio']:.4f})"
                     )
+        fgate = current.get("fault_gate")
+        if fgate:
+            print(
+                f"    fault_gate: outage-window availability homeo "
+                f"{fgate['homeo_outage_availability']:.4f} vs 2PC "
+                f"{fgate['twopc_outage_availability']:.4f} "
+                f"({fgate['homeo_recoveries']} recovery round(s), "
+                f"{fgate['homeo_timeouts']} homeo timeout(s))"
+            )
 
     # One shared measurement, one gate: the harness copies the same
     # microbench record into every scenario file, so judge its best

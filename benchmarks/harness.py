@@ -51,6 +51,18 @@ Schema (``schema_version`` 1)::
           "adaptive_rebalance_ratio": float,
           "adaptive_rebalances": int
         }
+      },
+      # faults only: the availability-under-crash comparison, gated by
+      # compare_bench.py (homeo must keep committing on the surviving
+      # sites during the outage window while 2PC blocks)
+      "fault_gate": {
+        "crash_at_ms": float, "outage_ms": float,
+        "homeo_availability": float,          # whole run, deterministic
+        "homeo_outage_availability": float,   # outage window only
+        "twopc_availability": float,
+        "twopc_outage_availability": float,
+        "homeo_recoveries": int,              # WAL replay + rejoin rounds
+        "homeo_timeouts": int                 # unavailability failures
       }
     }
 
@@ -76,6 +88,7 @@ from repro.logic.compile import compile_clauses, interpret_clauses  # noqa: E402
 from repro.sim.experiments import (  # noqa: E402
     run_adaptive_skew,
     run_contention,
+    run_faults,
     run_geo,
     run_micro,
 )
@@ -187,6 +200,49 @@ def _scenario_adaptive_skew():
     return main_result, {"adaptive_gate": gate}
 
 
+#: the fault scenario's deterministic crash schedule (site 1 is down
+#: for half of the 1.5s..4.5s window of a 6s run)
+_FAULT_POINT = dict(
+    crash_site=1,
+    crash_at_ms=1_500.0,
+    outage_ms=3_000.0,
+    duration_ms=6_000.0,
+    clients_per_replica=4,
+    num_items=120,
+    seed=0,
+)
+
+
+def _scenario_faults():
+    """Availability under a site crash: homeo vs 2PC, one outage.
+
+    The scenario's headline metrics are the *homeostasis* run (with
+    validate mode on, so every install asserts H1/H2 and the recovery
+    asserts the WAL-replayed treaty is identical to the cluster's);
+    the ``fault_gate`` extras record both modes' availability over the
+    whole run and over the outage window specifically, which
+    ``compare_bench.py`` enforces: homeostasis must keep committing on
+    the surviving sites while 2PC blocks.
+    """
+    homeo = run_faults("homeo", validate=True, **_FAULT_POINT)
+    twopc = run_faults("2pc", **_FAULT_POINT)
+    window = (
+        _FAULT_POINT["crash_at_ms"],
+        _FAULT_POINT["crash_at_ms"] + _FAULT_POINT["outage_ms"],
+    )
+    gate = {
+        "crash_at_ms": _FAULT_POINT["crash_at_ms"],
+        "outage_ms": _FAULT_POINT["outage_ms"],
+        "homeo_availability": round(homeo.availability, 5),
+        "homeo_outage_availability": round(homeo.availability_between(*window), 5),
+        "twopc_availability": round(twopc.availability, 5),
+        "twopc_outage_availability": round(twopc.availability_between(*window), 5),
+        "homeo_recoveries": homeo.recoveries,
+        "homeo_timeouts": homeo.timeouts,
+    }
+    return homeo, {"fault_gate": gate}
+
+
 #: scenario name -> zero-argument runner returning a SimResult (or a
 #: (SimResult, extras) pair whose extras merge into the JSON record)
 SCENARIOS = {
@@ -194,6 +250,7 @@ SCENARIOS = {
     "geo_pricing": _scenario_geo_pricing,
     "contention_races": _scenario_contention_races,
     "adaptive_skew": _scenario_adaptive_skew,
+    "faults": _scenario_faults,
 }
 
 

@@ -20,6 +20,10 @@
 - :mod:`repro.protocol.concurrent` -- the concurrent cleanup runtime:
   windows of interleaved submissions, racing violators resolved by a
   real vote phase, and parallel negotiations over disjoint closures;
+- :mod:`repro.protocol.faults` -- deterministic fault injection for
+  the transport: message drop/delay, site crash-stops at message
+  indices, partitions over edge sets -- all surfacing as timeouts
+  rather than hangs;
 - :mod:`repro.protocol.baselines` -- LOCAL, 2PC and OPT
   (demarcation-style) execution modes from Section 6.
 """
@@ -30,13 +34,21 @@ from repro.protocol.messages import (
     Message,
     MessageStats,
     Prepare,
+    RebalanceRequest,
+    Rejoin,
     SyncBroadcast,
     TreatyInstall,
     Vote,
     VoteReply,
 )
-from repro.protocol.transport import NegotiationTrace, Transport, TransportError
+from repro.protocol.transport import (
+    NegotiationTrace,
+    Transport,
+    TransportError,
+    UnreachableError,
+)
 from repro.protocol.catalog import StoredProcedure, StoredProcedureCatalog
+from repro.protocol.faults import FaultPlan, Partition
 from repro.protocol.site import SiteResult, SiteServer
 from repro.protocol.remote_writes import ReplicationSpec, transform_for_site
 from repro.protocol.homeostasis import (
@@ -44,6 +56,7 @@ from repro.protocol.homeostasis import (
     HomeostasisCluster,
     SyncRound,
     TreatyStrategy,
+    Unavailable,
 )
 from repro.protocol.concurrent import (
     ConcurrentCluster,
@@ -58,13 +71,17 @@ __all__ = [
     "ClusterResult",
     "ConcurrentCluster",
     "Decision",
+    "FaultPlan",
     "GroupOutcome",
     "HomeostasisCluster",
     "LocalCluster",
     "Message",
     "MessageStats",
     "NegotiationTrace",
+    "Partition",
     "Prepare",
+    "RebalanceRequest",
+    "Rejoin",
     "ReplicationSpec",
     "SiteResult",
     "SiteServer",
@@ -77,6 +94,8 @@ __all__ = [
     "TreatyInstall",
     "TreatyStrategy",
     "TwoPhaseCommitCluster",
+    "Unavailable",
+    "UnreachableError",
     "Vote",
     "VoteReply",
     "WindowOutcome",

@@ -15,6 +15,17 @@
 
 Both classes expose the same ``submit`` API as the homeostasis
 cluster so experiment harnesses can swap modes.
+
+Under faults the 2PC baseline exhibits exactly the blocking behavior
+Gray & Lamport's *Consensus on Transaction Commit* ascribes to it:
+every commit needs every replica, so while any replica is crashed or
+partitioned away **no** transaction can commit anywhere -- ``submit``
+raises :class:`~repro.protocol.homeostasis.Unavailable` (after
+aborting the local execution cleanly; the commit is deferred until
+the cohort votes arrive, so an unreachable cohort leaves no partial
+state).  This is the availability counterpoint the ``run_faults``
+experiment measures against homeostasis, where only closures touching
+the crashed site block.
 """
 
 from __future__ import annotations
@@ -24,24 +35,40 @@ from typing import Mapping, Sequence
 
 from repro.lang.ast import Transaction
 from repro.lang.interp import ExecContext, execute
-from repro.protocol.homeostasis import ClusterResult, ClusterStats, ProtocolError
+from repro.protocol.homeostasis import (
+    ClusterResult,
+    ClusterStats,
+    ProtocolError,
+    Unavailable,
+)
 from repro.protocol.messages import Decision, Message, Prepare
-from repro.protocol.transport import Transport
+from repro.protocol.transport import Transport, UnreachableError
 from repro.storage.engine import LocalEngine
 
 
 @dataclass
 class _Replica:
-    """A full-copy replica; a transport endpoint for 2PC traffic."""
+    """A full-copy replica; a transport endpoint for 2PC traffic.
+
+    Prepared write sets are **staged** and only applied when the
+    commit decision arrives: an aborted 2PC round (unreachable cohort
+    elsewhere in the cluster) must leave this replica exactly as it
+    was, and a crash while prepared loses only the staged set -- which
+    recovery's snapshot catch-up re-fetches from a live peer.
+    """
 
     engine: LocalEngine = field(default_factory=LocalEngine)
+    _staged: tuple[tuple[str, int], ...] | None = None
 
     def handle(self, msg: Message):
         if isinstance(msg, Prepare):
-            for name, value in msg.updates:
-                self.engine.poke(name, value)
+            self._staged = msg.updates
             return True  # vote yes
         if isinstance(msg, Decision):
+            if msg.commit and self._staged is not None:
+                for name, value in self._staged:
+                    self.engine.poke(name, value)
+            self._staged = None
             return None
         raise TypeError(f"replica: unhandled message {msg!r}")
 
@@ -98,6 +125,33 @@ class _ReplicatedBase:
             raise ProtocolError(f"unknown transaction {tx_name!r}")
         return self.tx_home[tx_name]
 
+    # -- crash-stop and recovery (baseline flavour) ------------------------------
+
+    def crash_site(self, sid: int) -> None:
+        """Crash-stop one replica (transport-level; replica state is
+        durable -- the baselines have no volatile protocol metadata)."""
+        self.transport.crash(sid)
+
+    def recover_site(self, sid: int) -> tuple[int, ...]:
+        """Restart a crashed replica and catch it up.
+
+        The 2PC baseline keeps consistent full copies, so recovery is
+        a snapshot transfer from any live peer (there is no scoped
+        treaty state to replay); a cohort that missed decisions while
+        down converges here.  Returns the sites involved, for
+        simulator pricing.  (``LocalCluster`` overrides this: its
+        replicas diverge by design and must not be clobbered.)
+        """
+        self.transport.recover(sid)
+        peers = [s for s in self.site_ids if s != sid and s not in self.transport.down]
+        if not peers:
+            return (sid,)
+        donor = peers[0]
+        self.replicas[sid].engine.store.apply(
+            self.replicas[donor].engine.store.snapshot()
+        )
+        return tuple(sorted({sid, donor}))
+
 
 class LocalCluster(_ReplicatedBase):
     """LOCAL mode: execute at the origin replica, never communicate."""
@@ -105,34 +159,106 @@ class LocalCluster(_ReplicatedBase):
     def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
         origin = self._origin(tx_name)
         self.stats.submitted += 1
+        if self.transport.is_down(origin):
+            raise Unavailable(
+                f"origin replica {origin} is down", sites=frozenset({origin})
+            )
         log, _written = self._run_at(origin, tx_name, params)
         self.stats.committed_local += 1
         return ClusterResult(log=log, site=origin, synced=False)
+
+    def recover_site(self, sid: int) -> tuple[int, ...]:
+        """LOCAL replicas diverge by design, so recovery is just
+        reconnection: the replica's own (durable) state is the only
+        state it has, and a peer snapshot would overwrite committed
+        writes the crash-stop model says must survive."""
+        self.transport.recover(sid)
+        return (sid,)
 
     def replica_state(self, sid: int) -> dict[str, int]:
         return self.replicas[sid].engine.store.snapshot()
 
 
 class TwoPhaseCommitCluster(_ReplicatedBase):
-    """2PC mode: synchronous write-set replication on every commit."""
+    """2PC mode: synchronous write-set replication on every commit.
+
+    The local commit is **deferred past the prepare phase**: the
+    transaction executes inside an open storage transaction, cohort
+    replicas are prepared, and only then does the origin commit and
+    ship the decision.  An unreachable cohort therefore aborts the
+    local execution cleanly (undo-journal rollback), sends abort
+    decisions to the cohorts already prepared, and surfaces as
+    :class:`~repro.protocol.homeostasis.Unavailable` -- the classical
+    "2PC blocks while any participant is down" failure mode, with no
+    replica left holding a half-committed write set.
+    """
 
     def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
         origin = self._origin(tx_name)
         self.stats.submitted += 1
-        log, written = self._run_at(origin, tx_name, params)
-        # Phase one + two across all replicas; the write set ships with
-        # the prepare messages (ROWA replication).
-        origin_engine = self.replicas[origin].engine
-        payload = tuple(
-            sorted((name, origin_engine.peek(name)) for name in written)
-        )
-        with self.transport.negotiation("2pc", origin):
-            for sid in self.site_ids:
-                if sid != origin:
-                    self.transport.send(Prepare(src=origin, dst=sid, updates=payload))
-            for sid in self.site_ids:
-                if sid != origin:
-                    self.transport.send(Decision(src=origin, dst=sid, commit=True))
+        if self.transport.is_down(origin):
+            raise Unavailable(
+                f"origin replica {origin} is down", sites=frozenset({origin})
+            )
+        cohorts = [sid for sid in self.site_ids if sid != origin]
+        known_down = frozenset(c for c in cohorts if self.transport.is_down(c))
+        if known_down:
+            # Fast refusal: 2PC cannot commit anywhere while any
+            # replica is unreachable, so don't even execute.
+            raise Unavailable(
+                f"2PC blocked: replica(s) {sorted(known_down)} are down",
+                sites=known_down,
+            )
+        tx = self.transactions[tx_name]
+        engine = self.replicas[origin].engine
+        txn = engine.begin()
+        try:
+            ctx = ExecContext(
+                getobj=txn.read,
+                setobj=txn.write,
+                emit=txn.emit,
+                params=dict(params or {}),
+                arrays=self.arrays,
+            )
+            execute(tx.body, ctx)
+        except BaseException:
+            if txn.active:
+                txn.abort()
+            raise
+        # Writes are applied in place (undo-journaled), so the store
+        # already holds the post-transaction values the cohort must
+        # replicate; rollback restores the before-images if any cohort
+        # is unreachable.
+        payload = tuple(sorted((name, engine.peek(name)) for name in txn.written))
+        trace = self.transport.begin("2pc", origin)
+        prepared: list[int] = []
+        try:
+            for sid in cohorts:
+                self.transport.send(Prepare(src=origin, dst=sid, updates=payload))
+                prepared.append(sid)
+        except UnreachableError as exc:
+            txn.abort()
+            for sid in prepared:
+                try:
+                    self.transport.send(Decision(src=origin, dst=sid, commit=False))
+                except UnreachableError:
+                    pass  # that cohort just died too; it recovers via catch-up
+            self.transport.abort(trace)
+            raise Unavailable(
+                f"2PC blocked mid-prepare: {exc}", sites=frozenset({exc.dst})
+            ) from exc
+        for sid in cohorts:
+            try:
+                self.transport.send(Decision(src=origin, dst=sid, commit=True))
+            except UnreachableError:
+                # Unanimous votes make the decision commit regardless
+                # (presumed commit); a cohort that dies between its
+                # vote and the decision learns the outcome through
+                # recovery's snapshot catch-up.
+                pass
+        log = tuple(txn.log)
+        txn.commit()
+        self.transport.end(trace)
         self.stats.negotiations += 1  # every transaction coordinates
         return ClusterResult(
             log=log, site=origin, synced=True, participants=tuple(self.site_ids)

@@ -46,6 +46,20 @@ usually clears the breach).
 Every step iterates in sorted deterministic order, so two runs over
 the same window produce identical traces and states -- the seeded
 arbitration order the simulator's determinism tests rely on.
+
+Under the fault-tolerant runtime, a window degrades per conflict
+group instead of wholesale: submissions whose origin site is down
+fail immediately (``WindowOutcome.failed``); a group whose merged
+scope contains a known-crashed site is refused before its round
+opens; and a crash discovered mid-round (an
+:class:`~repro.protocol.transport.UnreachableError` during the vote
+or sync phase -- the abortable prefix, before any T' re-executes)
+aborts that group's round cleanly while the wave's *other* groups,
+whose disjoint closures cannot contain the crashed site, continue
+unaffected.  Failed violators do not re-run within the window: their
+negotiation needs the crashed site by definition, so the client
+retries after recovery.  Losing *refresh* desires of a failed group
+are dropped silently -- their transactions already committed.
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ from typing import Mapping, Sequence
 from repro.protocol.homeostasis import HomeostasisCluster, ProtocolError
 from repro.protocol.messages import Vote, VoteReply
 from repro.protocol.site import SiteResult
+from repro.protocol.transport import NegotiationTrace, UnreachableError
 
 
 @dataclass
@@ -83,6 +98,11 @@ class WindowOutcome:
     rebalances: int = 0
     #: participants of the won refresh (empty when none ran)
     rebalance_participants: tuple[int, ...] = ()
+    #: True when the transaction could not complete because a site it
+    #: needed was unreachable (origin down, or its conflict group's
+    #: scope contained a crashed site); the client retries after
+    #: recovery
+    failed: bool = False
 
 
 @dataclass
@@ -155,6 +175,18 @@ class _Contender:
         return (self.timestamp, self.origin, self.txn_seq)
 
 
+@dataclass
+class _WaveRound:
+    """One conflict group's in-flight negotiation within a wave."""
+
+    group: list[_Contender]
+    trace: NegotiationTrace
+    alive: bool = True
+    dirty: set[str] = field(default_factory=set)
+    reference: tuple[int, ...] | None = None
+    written: set[str] = field(default_factory=set)
+
+
 class ConcurrentCluster(HomeostasisCluster):
     """A homeostasis cluster whose kernel accepts interleaved
     submissions and resolves racing violators with a real vote phase.
@@ -167,16 +199,49 @@ class ConcurrentCluster(HomeostasisCluster):
         super().__init__(*args, **kwargs)
         self._txn_seq = itertools.count()
 
+    # -- fault handling ------------------------------------------------------------
+
+    def _fail_group(self, group: list[_Contender], outcomes) -> None:
+        """A group's negotiation cannot run (its scope contains an
+        unreachable site).  Violator members fail -- their cleanup
+        needs that site by definition, so re-running them this window
+        would only fail again; the client retries after recovery.
+        Refresh desires are dropped silently: their transactions
+        already committed, and the watermark re-triggers later."""
+        for contender in group:
+            if not contender.rebalance:
+                outcomes[contender.index].failed = True
+
+    def _abort_wave_round(self, rnd: _WaveRound, outcomes) -> None:
+        """A crash was discovered mid-round (vote/sync timeout): close
+        the round's transport context as aborted and fail its members.
+        Only this group degrades -- same-wave groups have disjoint
+        closures, so the crashed site cannot be in theirs."""
+        self.transport.abort(rnd.trace)
+        self.stats.timeouts += 1
+        self._fail_group(rnd.group, outcomes)
+        rnd.alive = False
+
     # -- window machinery ----------------------------------------------------------
 
     def _execute_round(
         self, entries: list[_Contender]
-    ) -> tuple[list[tuple[_Contender, SiteResult]], list[tuple[_Contender, SiteResult]]]:
+    ) -> tuple[
+        list[tuple[_Contender, SiteResult]],
+        list[tuple[_Contender, SiteResult]],
+        list[_Contender],
+    ]:
         """Optimistically execute the entries at their origin sites in
-        window order; return (committed, violators)."""
+        window order; return (committed, violators, unreachable).
+        Entries whose origin site is down cannot even attempt their
+        local execution -- they fail without touching any state."""
         committed: list[tuple[_Contender, SiteResult]] = []
         violators: list[tuple[_Contender, SiteResult]] = []
+        unreachable: list[_Contender] = []
         for entry in entries:
+            if self.transport.is_down(entry.origin):
+                unreachable.append(entry)
+                continue
             result = self.sites[entry.origin].execute(entry.tx_name, entry.params)
             if result.committed:
                 self.demand.observe(result.written)
@@ -184,7 +249,7 @@ class ConcurrentCluster(HomeostasisCluster):
             else:
                 self.demand.observe(result.attempted_writes)
                 violators.append((entry, result))
-        return committed, violators
+        return committed, violators, unreachable
 
     def _rebalance_contenders(
         self,
@@ -376,7 +441,9 @@ class ConcurrentCluster(HomeostasisCluster):
                 raise ProtocolError(
                     "window did not quiesce: livelocked elections"
                 )
-            committed, violators = self._execute_round(pending)
+            committed, violators, unreachable = self._execute_round(pending)
+            for entry in unreachable:
+                outcomes[entry.index].failed = True
             for entry, res in committed:
                 self.stats.committed_local += 1
                 out = outcomes[entry.index]
@@ -394,65 +461,78 @@ class ConcurrentCluster(HomeostasisCluster):
             if not contenders:
                 break
             groups = self._conflict_groups(contenders)
-            group_traces = []
+            rounds: list[_WaveRound] = []
             # Open every group's round before any closes: disjoint
             # closures negotiate in parallel, and the transport rejects
             # the wave outright if the scopes were not disjoint.
+            # Groups whose scope contains a known-crashed site are
+            # refused before their round opens (no messages wasted).
             for group in groups:
                 winner = group[0]
                 scope = frozenset().union(*(c.participants for c in group))
+                if scope & self.transport.down:
+                    self.stats.timeouts += 1
+                    self._fail_group(group, outcomes)
+                    continue
                 trace = self.transport.begin(
                     "cleanup", winner.origin, scope=scope, wave=wave
                 )
-                group_traces.append((group, trace))
-            for group, _trace in group_traces:
-                self._vote_phase(group)
-            synced_state = []
-            for group, _trace in group_traces:
-                winner = group[0]
-                _updates, dirty = self._synchronize(
-                    winner.participants, affected=winner.affected
-                )
-                synced_state.append(dirty)
-            executed = []
-            for (group, _trace), dirty in zip(group_traces, synced_state):
-                winner = group[0]
+                rounds.append(_WaveRound(group=group, trace=trace))
+            # Abortable prefix (vote + sync): a timeout here aborts
+            # only the affected group's round, cleanly.
+            for rnd in rounds:
+                try:
+                    self._vote_phase(rnd.group)
+                except UnreachableError:
+                    self._abort_wave_round(rnd, outcomes)
+            for rnd in rounds:
+                if not rnd.alive:
+                    continue
+                winner = rnd.group[0]
+                try:
+                    _updates, rnd.dirty = self._synchronize(
+                        winner.participants, affected=winner.affected
+                    )
+                except UnreachableError:
+                    self._abort_wave_round(rnd, outcomes)
+            # Commit point: the surviving rounds run to completion
+            # (same contract as the sequential path -- T' commits site
+            # by site, so crashes past this point are outside the
+            # fault model).
+            alive = [rnd for rnd in rounds if rnd.alive]
+            for rnd in alive:
+                winner = rnd.group[0]
                 if winner.rebalance:
                     # A refresh aborts nothing, so there is no T' to
                     # re-run -- the round is sync + regeneration only.
-                    executed.append((None, set(), dirty))
                     continue
-                reference, written = self._cleanup_execute(
+                rnd.reference, rnd.written = self._cleanup_execute(
                     winner.origin, winner.tx_name, winner.params, winner.participants
                 )
-                executed.append((reference, written, dirty))
             # Closure coverage is checked against the pre-wave treaty
             # table, before any group installs its replacement.
-            for (group, _trace), (_ref, written, _dirty) in zip(
-                group_traces, executed
-            ):
-                winner = group[0]
+            for rnd in alive:
+                winner = rnd.group[0]
                 if not winner.rebalance:
                     self._check_closure_covered(
-                        winner.tx_name, written, winner.participants
+                        winner.tx_name, rnd.written, winner.participants
                     )
-            for (group, _trace), (_ref, written, dirty) in zip(
-                group_traces, executed
-            ):
-                winner = group[0]
+            for rnd in alive:
+                winner = rnd.group[0]
                 self._install_new_treaty(
-                    dirty=dirty | written | set(winner.seed if winner.rebalance else ()),
+                    dirty=rnd.dirty
+                    | rnd.written
+                    | set(winner.seed if winner.rebalance else ()),
                     participants=winner.participants,
                     origin=winner.origin,
                 )
-            for _group, trace in group_traces:
-                self.transport.end(trace)
+            for rnd in alive:
+                self.transport.end(rnd.trace)
 
             losers: list[_Contender] = []
             wave_groups: list[GroupOutcome] = []
-            for (group, trace), (reference, _written, _dirty) in zip(
-                group_traces, executed
-            ):
+            for rnd in alive:
+                group, trace, reference = rnd.group, rnd.trace, rnd.reference
                 winner = group[0]
                 out = outcomes[winner.index]
                 if winner.rebalance:

@@ -56,6 +56,18 @@ for the stochastic optimizer the cached configuration remains one of
 the valid optima).  This is an engineering optimization -- validity
 (H1/H2) is untouched -- that turns per-round cost from O(database)
 into O(touched factors).
+
+**Fault tolerance** (crash-stop model, durable storage + treaty WAL):
+a crashed site blocks only the rounds whose participant closure
+includes it -- those refuse fast when the crash is known
+(:class:`Unavailable`) or abort cleanly on a vote/sync timeout; every
+other site keeps committing disconnected, which is the availability
+argument against 2PC's global blocking.  Recovery
+(:meth:`HomeostasisCluster.recover_site`) replays the site's treaty
+WAL, announces a :class:`~repro.protocol.messages.Rejoin`, and
+re-syncs the factor state its treaty generation depends on; validate
+mode asserts the replayed treaty matches the cluster's and that
+H1/H2 survive.
 """
 
 from __future__ import annotations
@@ -74,12 +86,13 @@ from repro.protocol.messages import (
     CleanupRun,
     MessageStats,
     RebalanceRequest,
+    Rejoin,
     SyncBroadcast,
     TreatyInstall,
     Vote,
 )
 from repro.protocol.site import SiteResult, SiteServer, clause_slack
-from repro.protocol.transport import Transport
+from repro.protocol.transport import Transport, UnreachableError
 from repro.treaty.config import (
     Configuration,
     check_h1_algebraic,
@@ -102,6 +115,23 @@ TreatyStrategy = str  # 'default' | 'equal-split' | 'optimized' | 'demand'
 
 class ProtocolError(Exception):
     """Violations of protocol invariants (indicate bugs, not workload)."""
+
+
+class Unavailable(Exception):
+    """A submission could not complete because a site it needs is
+    unreachable (its origin crashed, or its negotiation's participant
+    closure includes a crashed/partitioned site).
+
+    This is the protocol behaving correctly under faults, not a bug:
+    the round aborted cleanly, no state or treaty changed, and the
+    transaction can be retried once the missing site recovers.  The
+    simulator prices each occurrence as a timeout stall; contrast 2PC,
+    where *every* transaction raises this while any replica is down.
+    """
+
+    def __init__(self, reason: str, sites: frozenset[int] = frozenset()) -> None:
+        super().__init__(reason)
+        self.sites = sites
 
 
 @dataclass
@@ -514,6 +544,11 @@ class ClusterStats:
     negotiations: int = 0
     #: proactive adaptive treaty refreshes (no violation, no abort)
     rebalances: int = 0
+    #: rounds that could not run because a participant was unreachable
+    #: (known-down fast refusal, or a timeout discovered mid-round)
+    timeouts: int = 0
+    #: rejoin rounds run by recovered sites (WAL replay + re-sync)
+    recoveries: int = 0
     rounds: int = 0
     transport: Transport = field(default_factory=Transport)
 
@@ -618,6 +653,20 @@ class HomeostasisCluster:
             pending -= closure
         return participants, closure
 
+    def _refuse_if_down(self, participants: set[int], what: str) -> None:
+        """Fast-path refusal for rounds whose closure includes a
+        known-crashed site: no messages are wasted and no timeout is
+        paid discovering what the cluster already knows.  Counted with
+        the timeouts (it is the same unavailability, discovered
+        cheaper)."""
+        down = participants & self.transport.down
+        if down:
+            self.stats.timeouts += 1
+            raise Unavailable(
+                f"{what} needs unreachable site(s) {sorted(down)}",
+                sites=frozenset(down),
+            )
+
     def _install_new_treaty(
         self,
         dirty: set[str] | None,
@@ -641,7 +690,10 @@ class HomeostasisCluster:
                 # regenerate the identical treaty from the synchronized
                 # state, eliding the second communication round
                 # (Section 5.1); otherwise the coordinator ships it.
-                self.sites[sid].install_treaty(treaty)
+                self.sites[sid].install_treaty(
+                    treaty,
+                    round_number=table.round_number,
+                )
             else:
                 self.transport.send(
                     TreatyInstall(
@@ -942,29 +994,67 @@ class HomeostasisCluster:
     def _rebalance(self, origin: int, breached: set[str]) -> tuple[int, ...]:
         """One proactive refresh round: scoped sync + demand-weighted
         regeneration over the participant closure of the breached
-        clauses.  Returns the participant set (for simulator pricing)."""
+        clauses.  Returns the participant set (for simulator pricing).
+
+        A refresh is best-effort under faults: the triggering
+        transaction already committed, so if the closure includes an
+        unreachable site the refresh is simply skipped (empty return)
+        -- the watermark re-triggers on a later commit, or the
+        violation path handles it the expensive way.
+        """
         server = self.sites[origin]
         seed = set(breached) | set(server.dirty_owned_values())
         participants, closure = self._participants_for(origin, seed)
+        if participants & self.transport.down:
+            self.stats.timeouts += 1
+            return ()
         affected = self.generator.objects_touching(closure) | closure
-        self.stats.rebalances += 1
-        with self.transport.negotiation("rebalance", origin):
+        trace = self.transport.begin("rebalance", origin)
+        try:
+            # Abortable prefix only (announce + sync), as in the
+            # cleanup path: a timeout here precedes any treaty change.
             self._announce_rebalance(origin, participants, breached)
             _updates, dirty = self._synchronize(participants, affected=affected)
-            self._install_new_treaty(
-                dirty=dirty | seed, participants=participants, origin=origin
-            )
+        except UnreachableError:
+            # Same best-effort contract, discovered the expensive way.
+            self.transport.abort(trace)
+            self.stats.timeouts += 1
+            return ()
+        # Commit point: the install must run to completion.  Under the
+        # deterministic solver it is all-local (no messages); with a
+        # shipped install, a crash mid-phase escapes loudly with the
+        # round open rather than being swallowed as a no-op while some
+        # participants already hold the new treaty.
+        self._install_new_treaty(
+            dirty=dirty | seed, participants=participants, origin=origin
+        )
+        self.transport.end(trace)
+        self.stats.rebalances += 1
         return tuple(sorted(participants))
 
     # -- client API ---------------------------------------------------------------
 
     def submit(self, tx_name: str, params: Mapping[str, int] | None = None) -> ClusterResult:
-        """Run one transaction to completion under the protocol."""
+        """Run one transaction to completion under the protocol.
+
+        Raises :class:`Unavailable` -- without changing any state or
+        treaty -- when the origin site is down, or when the
+        transaction violates its treaty and the negotiation's
+        participant closure includes an unreachable site (known-down
+        sites are refused up front; a crash discovered mid-round
+        surfaces as a timeout and aborts the round cleanly).  Every
+        other submission proceeds exactly as in the fault-free kernel:
+        a crash blocks only the closures that include it.
+        """
         if tx_name not in self.tx_home:
             raise ProtocolError(f"unknown transaction {tx_name!r}")
         origin = self.tx_home[tx_name]
         server = self.sites[origin]
         self.stats.submitted += 1
+        if self.transport.is_down(origin):
+            raise Unavailable(
+                f"origin site {origin} is down", sites=frozenset({origin})
+            )
 
         result: SiteResult = server.execute(tx_name, params)
         if result.committed:
@@ -988,26 +1078,50 @@ class HomeostasisCluster:
         # participant closure of the violation -- untouched sites
         # neither hear about it nor change state, and their installed
         # treaties stay valid.
-        self.stats.negotiations += 1
         # A violating attempt is demand too -- the re-negotiation's
         # configuration should see the burst that exhausted the budget.
         self.demand.observe(result.attempted_writes)
         seed = self._violation_seed(server, result)
         participants, closure = self._participants_for(origin, seed)
+        self._refuse_if_down(participants, f"cleanup of {tx_name}")
         affected = self.generator.objects_touching(closure) | closure
-        with self.transport.negotiation("cleanup", origin):
+        trace = self.transport.begin("cleanup", origin)
+        try:
+            # Abortable prefix: nothing irreversible happens before T'
+            # re-executes.  The announcement is stateless and the sync
+            # exchange only refreshes snapshots with owner-authoritative
+            # values, so a vote/sync timeout aborts the round cleanly
+            # and the transaction simply retries after recovery.
             self._announce_winner(origin, tx_name, participants)
             updates, dirty = self._synchronize(participants, affected=affected)
-            reference, written_union = self._cleanup_execute(
-                origin, tx_name, params, participants
-            )
-            self._check_closure_covered(tx_name, written_union, participants)
-            # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
-            # objects whose deltas were already dirty, and those factors
-            # are recomputed anyway, so dirty | written covers everything.
-            self._install_new_treaty(
-                dirty=dirty | written_union, participants=participants, origin=origin
-            )
+        except UnreachableError as exc:
+            self.transport.abort(trace)
+            self.stats.timeouts += 1
+            raise Unavailable(
+                f"cleanup of {tx_name} timed out: {exc}",
+                sites=frozenset({exc.dst}),
+            ) from exc
+        # Commit point: from here the round must run to completion.  A
+        # crash discovered during the T' re-execution or install phases
+        # would leave participants divergent (T' commits site by site),
+        # so it is *not* converted into a clean Unavailable -- it
+        # escapes as UnreachableError with the round still open, which
+        # trips the transport's nesting invariant loudly on the next
+        # round.  Real deployments close this window with coordinator
+        # redo logging; the fault plans used here schedule crash-stops
+        # in the vote/sync window or between rounds.
+        reference, written_union = self._cleanup_execute(
+            origin, tx_name, params, participants
+        )
+        self._check_closure_covered(tx_name, written_union, participants)
+        # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
+        # objects whose deltas were already dirty, and those factors
+        # are recomputed anyway, so dirty | written covers everything.
+        self._install_new_treaty(
+            dirty=dirty | written_union, participants=participants, origin=origin
+        )
+        self.transport.end(trace)
+        self.stats.negotiations += 1
         return ClusterResult(
             log=reference,
             site=origin,
@@ -1051,10 +1165,123 @@ class HomeostasisCluster:
         A true global barrier: every site participates and exchanges
         its complete owned partition, so even values whose owners last
         synchronized inside a narrower participant set converge
-        everywhere.
+        everywhere.  Like any global barrier it is unavailable while
+        any site is down.
         """
         origin = self.site_ids[0]
         participants = set(self.site_ids)
+        self._refuse_if_down(participants, "global synchronization")
         with self.transport.negotiation("sync", origin):
             _updates, dirty = self._synchronize(participants, full=True)
             self._install_new_treaty(dirty=dirty, participants=participants, origin=origin)
+
+    # -- crash-stop and recovery --------------------------------------------------
+    #
+    # The fault model is crash-stop with durable storage: a crashed
+    # site loses its *volatile* protocol state (the installed
+    # LocalTreaty object, the adaptive headroom snapshot) but keeps
+    # its storage engine (the database -- durable through the engine's
+    # journaling) and its treaty WAL.  Recovery replays the WAL,
+    # announces a Rejoin, and re-syncs the factor state its treaty
+    # generation depends on; the validate mode proves the replayed
+    # treaty is byte-identical to what the cluster believes the site
+    # holds, and that H1/H2 still hold afterwards.
+
+    def crash_site(self, sid: int) -> None:
+        """Crash-stop one site: cut it off the transport and lose its
+        volatile treaty state.  Everything it owned stays durable (the
+        engine's store and the WAL); in-flight rounds that need it
+        will time out and abort."""
+        if sid not in self.sites:
+            raise ProtocolError(f"unknown site {sid}")
+        self.transport.crash(sid)
+        server = self.sites[sid]
+        server.local_treaty = None
+        server.install_headroom = {}
+        server.treaty_round = -1
+
+    def recover_site(self, sid: int) -> tuple[int, ...]:
+        """Restart a crashed site: WAL replay, Rejoin, scoped re-sync.
+
+        1. **Replay** the durable treaty WAL (torn tail dropped): the
+           site resumes enforcing exactly the local treaty its peers
+           believe it holds, with the recorded headroom snapshot.
+        2. **Rejoin**: announce recovery to the reachable sites whose
+           treaty factors it shares (``wal_round`` lets peers spot a
+           stale epoch -- impossible here because rounds touching this
+           site's factors were refused while it was down, which the
+           validate mode double-checks).
+        3. **Re-sync factor state**: a scoped synchronization over the
+           rejoiner's closure refreshes its snapshots of remote
+           objects feeding its treaty-generation instances.
+
+        Returns the rejoin round's participant set (for simulator
+        pricing).  In validate mode, asserts the replayed treaty is
+        identical to the cluster's treaty table entry and that H1/H2
+        hold after the rejoin.
+        """
+        if sid not in self.sites:
+            raise ProtocolError(f"unknown site {sid}")
+        if not self.transport.is_down(sid):
+            raise ProtocolError(f"site {sid} is not down")
+        server = self.sites[sid]
+        replayed_round = server.replay_wal()
+        self.transport.recover(sid)
+        self.stats.recoveries += 1
+
+        seed = set(server.dirty_owned_values())
+        if server.local_treaty is not None:
+            seed |= server.local_treaty.objects()
+        participants, closure = self._participants_for(sid, seed)
+        # Peers still down sit the rejoin out; their factor state
+        # refreshes when they themselves rejoin.
+        participants -= self.transport.down
+        affected = self.generator.objects_touching(closure) | closure
+        try:
+            with self.transport.negotiation("rejoin", sid):
+                for dst in sorted(participants - {sid}):
+                    self.transport.send(
+                        Rejoin(src=sid, dst=dst, wal_round=replayed_round),
+                    )
+                self._synchronize(participants, affected=affected)
+        except UnreachableError as exc:
+            # A peer became unreachable during the rejoin (lossy link,
+            # fresh crash).  The site itself is safely back -- its WAL
+            # treaty is installed and correct, and stale remote
+            # snapshots are legal under the execution model -- but the
+            # factor re-sync did not complete; surface it as the typed
+            # unavailability so callers can retry the rejoin round.
+            self.stats.timeouts += 1
+            raise Unavailable(
+                f"rejoin of site {sid} timed out: {exc}",
+                sites=frozenset({exc.dst}),
+            ) from exc
+
+        if self.validate:
+            self._assert_recovered_treaty(sid)
+            if self.treaty_table is not None and not check_h1_algebraic(
+                self.treaty_table.templates, self.treaty_table.configuration
+            ):
+                raise ProtocolError(f"H1 violated after site {sid} rejoined")
+            self._assert_h2_locally(participants, self.treaty_table.round_number)
+        return tuple(sorted(participants))
+
+    def _assert_recovered_treaty(self, sid: int) -> None:
+        """The WAL-replayed treaty must match the treaty table's entry
+        for the site exactly -- recovery must not resurrect a stale
+        epoch or lose clauses (the acceptance check of WAL-backed
+        durability)."""
+        if self.treaty_table is None:
+            return
+        expected = {c.pretty() for c in self.treaty_table.local_for(sid).constraints}
+        replayed_treaty = self.sites[sid].local_treaty
+        replayed = (
+            {c.pretty() for c in replayed_treaty.constraints}
+            if replayed_treaty is not None
+            else set()
+        )
+        if replayed != expected:
+            raise ProtocolError(
+                f"site {sid} rejoined with a treaty that does not match the "
+                f"cluster's: {sorted(replayed)} vs {sorted(expected)}"
+            )

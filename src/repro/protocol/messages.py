@@ -26,6 +26,18 @@ tuple wins deterministically, and each loser concedes with a
 :class:`VoteReply` before aborting and re-running after the winner's
 negotiation installs new treaties.
 
+Two message families sit outside the violation path: the adaptive
+subsystem's :class:`RebalanceRequest` (a proactive treaty refresh,
+no abort involved) and the fault-tolerant runtime's :class:`Rejoin`
+(a recovered site re-entering the cluster after replaying its
+write-ahead log).  The 2PC baseline speaks :class:`Prepare` /
+:class:`Decision` over the same transport so its message complexity
+is measured by the same trace.
+
+Each message class documents its **sender**, **receiver(s)**, and
+**when** it is sent; together they specify the whole wire protocol
+(see ``docs/ARCHITECTURE.md`` for a worked message-flow example).
+
 :class:`MessageStats` is a *derived view* over a transport trace, not
 a set of live counters: the kernel never increments anything by hand,
 it just sends messages.
@@ -56,18 +68,32 @@ class Message:
 
 @dataclass(frozen=True)
 class SyncBroadcast(Message):
-    """Cleanup-phase state exchange: the sender's share of the round's
-    update set (its dirty owned objects plus its owned objects that
-    feed recomputed treaty factors)."""
+    """State exchange: the sender's share of the round's update set
+    (its dirty owned objects plus its owned objects that feed
+    recomputed treaty factors).
+
+    **Sender**: every participant of a synchronization round.
+    **Receiver**: every other participant (all-to-all, ``p*(p-1)``
+    messages for ``p`` participants).  **When**: the synchronize phase
+    of any cleanup, forced-sync, rebalance, or rejoin round.
+    """
 
     updates: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
 class TreatyInstall(Message):
-    """New local treaty shipped by the coordinator (only sent when the
-    treaty solver is nondeterministic; a deterministic solver lets
-    every participant regenerate the identical treaty locally)."""
+    """New local treaty shipped to a participant.
+
+    **Sender**: the round's origin (coordinator).  **Receiver**: each
+    other participant of the negotiation.  **When**: the install phase
+    of a negotiation, and only when the treaty solver is
+    nondeterministic -- a deterministic solver lets every participant
+    regenerate the identical treaty locally, eliding this round
+    (Section 5.1).  The receiving site **logs the install to its
+    write-ahead log before acknowledging**, so a crash between the
+    ack and the next checkpoint cannot lose the treaty.
+    """
 
     round_number: int = 0
     treaty: "LocalTreaty | None" = None
@@ -76,6 +102,13 @@ class TreatyInstall(Message):
 @dataclass(frozen=True)
 class Vote(Message):
     """Violation-winner election message for the cleanup phase.
+
+    **Sender**: a contender (racing violator, or -- in the adaptive
+    runtime -- a committed transaction whose refresh desire contends).
+    **Receiver**: every other contender of its conflict group, then
+    the non-contender participants of the winner's closure.  **When**:
+    the vote phase, after optimistic execution and before any state
+    is exchanged.
 
     ``(timestamp, src, txn_seq)`` is the sender's priority tuple;
     among racing violators the lowest tuple wins.  A winner also
@@ -92,12 +125,17 @@ class Vote(Message):
 
 @dataclass(frozen=True)
 class VoteReply(Message):
-    """Arbitration reply: a losing contender concedes the election to
-    the winner (it will abort and re-run after the winner's
-    negotiation installs new treaties).  A concession is never
-    withheld -- the election is a deterministic function of the
-    exchanged priority tuples, so every contender computes the same
-    winner."""
+    """Arbitration reply: a losing contender concedes the election.
+
+    **Sender**: each losing contender of a conflict group.
+    **Receiver**: the group's winner.  **When**: immediately after the
+    vote exchange, before the winner's negotiation begins.
+
+    The loser will abort and re-run after the winner's negotiation
+    installs new treaties (a losing *refresh* desire instead re-checks
+    its watermark next wave).  A concession is never withheld -- the
+    election is a deterministic function of the exchanged priority
+    tuples, so every contender computes the same winner."""
 
     winner_site: int = -1
     winner_txn: int = -1
@@ -106,6 +144,12 @@ class VoteReply(Message):
 @dataclass(frozen=True)
 class RebalanceRequest(Message):
     """Proactive treaty-refresh announcement (adaptive reallocation).
+
+    **Sender**: a site whose remaining slack on a treaty clause fell
+    below the low-watermark.  **Receiver**: each other participant of
+    the refresh's closure.  **When**: right after the triggering
+    commit, before the scoped synchronization; the receiver logs the
+    request to its write-ahead log before acknowledging.
 
     Sent by a site whose remaining slack on a treaty clause fell below
     the low-watermark *before* any violation occurred: the origin asks
@@ -124,22 +168,58 @@ class RebalanceRequest(Message):
 @dataclass(frozen=True)
 class CleanupRun(Message):
     """Instruction to re-run the winning transaction T' in full on the
-    synchronized state (carries the transaction id and parameters)."""
+    synchronized state (carries the transaction id and parameters).
+
+    **Sender**: the round's origin (the winner's site).  **Receiver**:
+    each other participant.  **When**: the execute phase of a cleanup
+    round, after state synchronization; the reply carries the
+    ``(log, written)`` pair the coordinator cross-checks against its
+    own run (T' is deterministic, so all runs must agree).
+    """
 
     tx_name: str = ""
     params: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
+class Rejoin(Message):
+    """A recovered site announces it is re-entering the cluster.
+
+    **Sender**: a site that crash-stopped, restarted, and replayed its
+    write-ahead log (its installed treaty is already restored
+    locally).  **Receiver**: each other participant of its rejoin
+    round -- the sites whose treaty factors it shares.  **When**: at
+    recovery, before the scoped re-synchronization that refreshes the
+    rejoiner's snapshots of remote factor state.  ``wal_round`` is the
+    treaty round number the WAL replayed to, so peers can detect a
+    site rejoining with a stale (pre-crash) treaty epoch.
+    """
+
+    wal_round: int = -1
+
+
+@dataclass(frozen=True)
 class Prepare(Message):
-    """2PC phase one: write set shipped to a cohort replica."""
+    """2PC phase one: write set shipped to a cohort replica.
+
+    **Sender**: the transaction's origin replica (coordinator).
+    **Receiver**: every other replica (ROWA).  **When**: on every 2PC
+    commit, after local execution; the reply is the cohort's vote.
+    An unreachable cohort blocks the commit -- the availability
+    failure mode homeostasis avoids (Gray & Lamport).
+    """
 
     updates: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
 class Decision(Message):
-    """2PC phase two: commit/abort decision."""
+    """2PC phase two: commit/abort decision.
+
+    **Sender**: the coordinator.  **Receiver**: every cohort that was
+    prepared.  **When**: after all votes arrive (commit), or as soon
+    as any cohort is unreachable or votes no (abort).
+    """
 
     commit: bool = True
 
@@ -159,6 +239,7 @@ class MessageStats:
     vote_messages: int = 0  # violation-winner election messages
     vote_replies: int = 0  # arbitration concessions from losing contenders
     rebalance_requests: int = 0  # proactive treaty-refresh announcements
+    rejoin_messages: int = 0  # recovered-site re-entry announcements
     cleanup_messages: int = 0  # cleanup-run (re-execute T') messages
     prepare_messages: int = 0  # 2PC phase-one messages
     decision_messages: int = 0  # 2PC phase-two messages
@@ -170,6 +251,7 @@ class MessageStats:
         Vote: "vote_messages",
         VoteReply: "vote_replies",
         RebalanceRequest: "rebalance_requests",
+        Rejoin: "rejoin_messages",
         CleanupRun: "cleanup_messages",
         Prepare: "prepare_messages",
         Decision: "decision_messages",
@@ -182,6 +264,7 @@ class MessageStats:
             + self.vote_messages
             + self.vote_replies
             + self.rebalance_requests
+            + self.rejoin_messages
             + self.cleanup_messages
             + self.prepare_messages
             + self.decision_messages

@@ -12,6 +12,15 @@ objects during normal execution (Assumption 3.1).
 the stored procedure whose guard matches, run it inside a storage
 transaction, check the local treaty before commit, and either commit
 (returning the log) or abort and report the treaty violation.
+
+Treaty installs are **durable**: every install (and every rebalance
+request this site acknowledges) is appended to the site's
+:class:`~repro.storage.wal.TreatyWAL` *before* it is applied or
+acked, so a crash-stopped site restarted via :meth:`SiteServer.
+replay_wal` resumes enforcing exactly the local treaty its peers
+believe it holds -- H1 (locals imply the global treaty) survives the
+crash because no site can come back with a forgotten, weaker
+invariant.
 """
 
 from __future__ import annotations
@@ -26,12 +35,14 @@ from repro.protocol.messages import (
     CleanupRun,
     Message,
     RebalanceRequest,
+    Rejoin,
     SyncBroadcast,
     TreatyInstall,
     Vote,
     VoteReply,
 )
 from repro.storage.engine import LocalEngine
+from repro.storage.wal import TreatyWAL, decode_local_treaty, encode_local_treaty
 from repro.treaty.table import LocalTreaty
 
 
@@ -78,8 +89,15 @@ class SiteServer:
     #: per-clause headroom at install time (the allocation the adaptive
     #: low-watermark compares remaining slack against)
     install_headroom: dict[LinearConstraint, int] = field(default_factory=dict)
+    #: append-only durable log of treaty installs / rebalance acks;
+    #: survives a crash-stop of the (volatile) server object
+    wal: TreatyWAL = field(default_factory=TreatyWAL)
+    #: round number of the currently installed treaty (-1 before any)
+    treaty_round: int = -1
 
-    def install_treaty(self, treaty: LocalTreaty) -> None:
+    def install_treaty(
+        self, treaty: LocalTreaty, round_number: int = -1, log: bool = True
+    ) -> None:
         """Install a new local treaty and checkpoint each ``<=``-clause's
         headroom on the install-time (synchronized) state.
 
@@ -87,14 +105,52 @@ class SiteServer:
         *relative* trigger: "this clause has burned through 1 - w of
         the budget the last negotiation granted", independent of the
         clause's absolute scale.
+
+        The install is **logged to the WAL before it is applied** (and
+        therefore before any transport-level acknowledgement returns to
+        the coordinator): once a peer believes this site holds the
+        treaty, a crash-stop cannot unhold it.  ``log=False`` is the
+        replay path only -- reinstalling a recovered treaty must not
+        re-append it.
         """
-        self.local_treaty = treaty
         peek = self.engine.peek
-        self.install_headroom = {
+        headroom = {
             con: clause_slack(con, peek)
             for con in treaty.constraints
             if con.op == "<="
         }
+        if log:
+            record = {"kind": "treaty_install", "round": round_number}
+            record.update(encode_local_treaty(treaty, headroom))
+            self.wal.append(record)
+        self.local_treaty = treaty
+        self.install_headroom = headroom
+        self.treaty_round = round_number
+
+    def replay_wal(self) -> int:
+        """Restart path: restore the treaty state from the durable log.
+
+        Reduces the log to its last *complete* install record (a torn
+        tail -- crash mid-append -- is dropped; it was never acked, so
+        no peer assumes this site has it) and reinstalls that treaty
+        with its recorded headroom snapshot.  Idempotent: replaying
+        again reinstalls the same record.  Returns the replayed round
+        number (-1 for a fresh log).
+        """
+        record = self.wal.last_treaty_install()
+        if record is None:
+            self.local_treaty = None
+            self.install_headroom = {}
+            self.treaty_round = -1
+            return -1
+        treaty, headroom = decode_local_treaty(record)
+        self.local_treaty = treaty
+        # The recorded snapshot, not a recomputation: slack already
+        # consumed before the crash must stay consumed, or the adaptive
+        # low-watermark would silently reset at every recovery.
+        self.install_headroom = headroom
+        self.treaty_round = record["round"]
+        return self.treaty_round
 
     # -- the online execution path (Section 5.1) ---------------------------------
 
@@ -182,12 +238,16 @@ class SiteServer:
         - ``SyncBroadcast`` installs the sender's share of the round's
           update set into this site's store (snapshots for remote
           objects, no-ops for owned ones);
-        - ``TreatyInstall`` installs the shipped local treaty;
+        - ``TreatyInstall`` installs the shipped local treaty (logged
+          to the WAL before the ack returns);
         - ``Vote`` acknowledges a contender's priority claim in the
           violation-winner election;
         - ``VoteReply`` records a losing contender's concession;
-        - ``RebalanceRequest`` acknowledges a proactive treaty-refresh
-          announcement (adaptive reallocation);
+        - ``RebalanceRequest`` logs, then acknowledges, a proactive
+          treaty-refresh announcement (adaptive reallocation);
+        - ``Rejoin`` acknowledges a recovered peer re-entering the
+          cluster (the state refresh arrives as the rejoin round's
+          SyncBroadcast exchange);
         - ``CleanupRun`` executes T' in full and replies with the
           (log, written) pair the coordinator cross-checks.
         """
@@ -197,16 +257,27 @@ class SiteServer:
             return None
         if isinstance(msg, TreatyInstall):
             assert msg.treaty is not None
-            self.install_treaty(msg.treaty)
+            self.install_treaty(msg.treaty, round_number=msg.round_number)
             return None
         if isinstance(msg, Vote):
             return True
         if isinstance(msg, VoteReply):
             return True
         if isinstance(msg, RebalanceRequest):
-            # Acknowledge the proactive refresh; the actual state
-            # exchange and treaty install arrive as the round's
-            # SyncBroadcast / regeneration, like any negotiation.
+            # Log before ack, then acknowledge the proactive refresh;
+            # the actual state exchange and treaty install arrive as
+            # the round's SyncBroadcast / regeneration, like any
+            # negotiation.  The logged request lets recovery see that
+            # a refresh round was in flight at the crash.
+            self.wal.append(
+                {
+                    "kind": "rebalance_request",
+                    "origin": msg.src,
+                    "objects": list(msg.objects),
+                }
+            )
+            return True
+        if isinstance(msg, Rejoin):
             return True
         if isinstance(msg, CleanupRun):
             return self.run_cleanup_transaction(msg.tx_name, dict(msg.params))

@@ -29,19 +29,52 @@ did *not* serialize against each other.  Opening a context whose
 scope intersects an already-open one raises: overlapping closures
 must race through the vote phase instead, and only the winner's
 negotiation runs.
+
+The fabric is **fault-aware**: attach a
+:class:`~repro.protocol.faults.FaultPlan` (or call
+:meth:`Transport.crash` directly) and delivery can fail -- the
+destination crash-stopped, the edge is inside an active partition, or
+the lossy link dropped/over-delayed the message.  Failed deliveries
+never hang the synchronous kernel: they surface immediately as
+:class:`~repro.protocol.faults.UnreachableError` (what a real
+deployment learns by waiting out a timer), are recorded in
+``undelivered`` rather than the trace, and the protocol layer aborts
+the surrounding round cleanly (its trace is marked ``aborted`` and
+excluded from the synchronization-round counts).  A site crashed by
+the plan handles the fatal message *before* halting -- state changes
+and write-ahead logging happen, the reply is lost -- which is the
+mid-install window WAL recovery exists for.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Protocol
+from typing import TYPE_CHECKING, Any, Iterator, Protocol
 
 from repro.protocol.messages import Message, MessageStats, SyncBroadcast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports us)
+    from repro.protocol.faults import FaultPlan
 
 
 class TransportError(Exception):
     """Misrouted messages or misuse of the transport."""
+
+
+class UnreachableError(TransportError):
+    """A message could not be delivered: the destination crash-stopped,
+    the edge sits inside an active partition, or the lossy link dropped
+    (or over-delayed) the message.  In a real deployment the sender
+    discovers this by waiting out a timeout; the synchronous kernel
+    surfaces it immediately so rounds abort cleanly instead of hanging.
+    """
+
+    def __init__(self, src: int, dst: int, reason: str) -> None:
+        super().__init__(f"message {src}->{dst} undeliverable: {reason}")
+        self.src = src
+        self.dst = dst
+        self.reason = reason
 
 
 class Endpoint(Protocol):
@@ -55,8 +88,10 @@ class Endpoint(Protocol):
 #: per-transaction commits, not treaty negotiations.  'rebalance' is
 #: the adaptive proactive refresh -- no transaction aborted, but the
 #: round exchanges state and installs treaties like any other, so it
-#: counts as coordination.
-SYNC_KINDS = ("cleanup", "sync", "rebalance")
+#: counts as coordination.  'rejoin' is the recovery round a crashed
+#: site runs to re-enter the cluster: state is exchanged, so it is
+#: honest to count it (fault tolerance is not free coordination).
+SYNC_KINDS = ("cleanup", "sync", "rebalance", "rejoin")
 
 
 @dataclass
@@ -76,6 +111,16 @@ class NegotiationTrace:
     closed_at: int = -1
     #: concurrent wave this round ran in (-1 for exclusive rounds)
     wave: int = -1
+    #: True when the round was abandoned mid-flight (a participant
+    #: became unreachable); aborted rounds do not count as
+    #: synchronizations and installed nothing
+    aborted: bool = False
+    #: injected link latency accumulated by this round's messages
+    #: (recorded for analysis; sub-timeout delays do not change the
+    #: kernel's behaviour -- the sender-visible fault surface is the
+    #: timeout equivalence, where a delay past the plan's ``timeout_ms``
+    #: is indistinguishable from a drop)
+    delay_ms: float = 0.0
 
     @property
     def participants(self) -> tuple[int, ...]:
@@ -111,15 +156,50 @@ class Transport:
     endpoints: dict[int, Endpoint] = field(default_factory=dict)
     trace: list[Message] = field(default_factory=list)
     negotiations: list[NegotiationTrace] = field(default_factory=list)
+    #: deterministic fault schedule (None = the fault-free fabric)
+    faults: FaultPlan | None = None
+    #: currently crash-stopped sites (by plan or explicit :meth:`crash`)
+    down: set[int] = field(default_factory=set)
+    #: messages that never reached their destination, with the reason
+    undelivered: list[tuple[Message, str]] = field(default_factory=list)
+    #: total injected link latency over delivered messages
+    total_delay_ms: float = 0.0
     _open: list[NegotiationTrace] = field(default_factory=list)
     #: monotone event counter: bumped on every open, send, and close
     _events: int = 0
     _next_index: int = 0
+    #: send-attempt counter (the FaultPlan's per-message index; counts
+    #: undelivered attempts too, unlike ``len(trace)``)
+    _attempts: int = 0
+    #: inbound messages handled per site (drives plan crash-stops)
+    _handled: dict[int, int] = field(default_factory=dict)
 
     def register(self, site_id: int, endpoint: Endpoint) -> None:
         if site_id in self.endpoints:
             raise TransportError(f"site {site_id} already registered")
         self.endpoints[site_id] = endpoint
+
+    # -- fault surface -------------------------------------------------------------
+
+    def crash(self, site_id: int) -> None:
+        """Crash-stop a site: every message to it is undeliverable
+        until :meth:`recover`.  Idempotent."""
+        if site_id not in self.endpoints:
+            raise TransportError(f"no endpoint registered for site {site_id}")
+        self.down.add(site_id)
+
+    def recover(self, site_id: int) -> None:
+        """Mark a crashed site reachable again.  The transport only
+        restores connectivity; state recovery (WAL replay, rejoin
+        synchronization) is the protocol layer's job."""
+        self.down.discard(site_id)
+
+    def is_down(self, site_id: int) -> bool:
+        return site_id in self.down
+
+    def _undeliverable(self, msg: Message, reason: str) -> UnreachableError:
+        self.undelivered.append((msg, reason))
+        return UnreachableError(msg.src, msg.dst, reason)
 
     def _attribute(self, msg: Message) -> NegotiationTrace | None:
         """The open context this message belongs to.
@@ -156,16 +236,58 @@ class Transport:
         return owner
 
     def send(self, msg: Message) -> Any:
-        """Record the message and deliver it to the destination."""
+        """Record the message and deliver it to the destination.
+
+        Delivery can fail (:class:`UnreachableError`): the sender or
+        destination is crash-stopped, the edge is severed by an active
+        partition, or the fault plan drops / over-delays the message.
+        Failed attempts are recorded in ``undelivered`` (never in the
+        trace -- the destination did not see them).  A plan-scheduled
+        crash-stop fires *after* the destination handles the fatal
+        message: its state changed and its WAL was written, but the
+        reply is lost, so the sender still observes a timeout.
+        """
         endpoint = self.endpoints.get(msg.dst)
         if endpoint is None:
             raise TransportError(f"no endpoint registered for site {msg.dst}")
         self._events += 1
+        index = self._attempts
+        self._attempts += 1
+        if msg.src in self.down:
+            raise self._undeliverable(msg, "sender crash-stopped")
+        if msg.dst in self.down:
+            raise self._undeliverable(msg, "destination crash-stopped")
+        delay = 0.0
+        if self.faults is not None:
+            if self.faults.severed(msg.edge, self._events):
+                raise self._undeliverable(msg, "edge severed by partition")
+            if self.faults.drops(index):
+                raise self._undeliverable(msg, "dropped by lossy link")
+            delay = self.faults.delay_of(index)
+            if delay >= self.faults.timeout_ms:
+                raise self._undeliverable(msg, "delayed past the timeout")
         self.trace.append(msg)
         active = self._attribute(msg)
         if active is not None:
             active.messages.append(msg)
-        return endpoint.handle(msg)
+            active.delay_ms += delay
+        self.total_delay_ms += delay
+        reply = endpoint.handle(msg)
+        handled = self._handled.get(msg.dst, 0) + 1
+        self._handled[msg.dst] = handled
+        if self.faults is not None and self.faults.crashes_after_handling(
+            msg.dst, handled
+        ):
+            # The message WAS delivered (it stays in the trace, its
+            # state changes and WAL appends happened); what the crash
+            # loses is the *reply*, so the sender still observes a
+            # timeout.  Not recorded in ``undelivered`` -- that list is
+            # strictly for messages the destination never saw.
+            self.down.add(msg.dst)
+            raise UnreachableError(
+                msg.src, msg.dst, "destination crashed after handling"
+            )
+        return reply
 
     # -- negotiation contexts ------------------------------------------------------
 
@@ -222,25 +344,44 @@ class Transport:
         self._open.remove(trace)
         self.negotiations.append(trace)
 
+    def abort(self, trace: NegotiationTrace) -> None:
+        """Close an open negotiation that gave up mid-flight (a
+        participant became unreachable).  The trace is kept for
+        post-mortems but marked ``aborted``: it installed nothing and
+        does not count as a synchronization round."""
+        trace.aborted = True
+        self.end(trace)
+
     @contextmanager
     def negotiation(self, kind: str, origin: int) -> Iterator[NegotiationTrace]:
         """Group the messages of one exclusive round under a shared
-        trace entry."""
+        trace entry.  A round abandoned by an escaping exception (an
+        unreachable participant, a validation failure) is closed as
+        ``aborted`` -- it must not count as a completed
+        synchronization."""
         trace = self.begin(kind, origin)
         try:
             yield trace
-        finally:
-            self.end(trace)
+        except BaseException:
+            self.abort(trace)
+            raise
+        self.end(trace)
 
     # -- derived views ------------------------------------------------------------
 
     def message_stats(self) -> MessageStats:
         """The kernel's message accounting, derived from the trace."""
-        rounds = sum(1 for n in self.negotiations if n.kind in SYNC_KINDS)
+        rounds = sum(
+            1 for n in self.negotiations if n.kind in SYNC_KINDS and not n.aborted
+        )
         return MessageStats.from_trace(self.trace, negotiations=rounds)
 
     def last_negotiation(self) -> NegotiationTrace | None:
         return self.negotiations[-1] if self.negotiations else None
 
     def cleanup_rounds(self) -> list[NegotiationTrace]:
-        return [n for n in self.negotiations if n.kind == "cleanup"]
+        return [n for n in self.negotiations if n.kind == "cleanup" and not n.aborted]
+
+    def aborted_rounds(self) -> list[NegotiationTrace]:
+        """Rounds abandoned because a participant was unreachable."""
+        return [n for n in self.negotiations if n.aborted]

@@ -20,7 +20,7 @@ from repro.protocol.homeostasis import AdaptiveSettings
 from repro.sim.metrics import SimResult
 from repro.treaty.optimize import demand_split
 from repro.sim.network import rtt_matrix_for
-from repro.sim.runner import SimConfig, SimRequest, simulate
+from repro.sim.runner import FaultEvent, SimConfig, SimRequest, simulate
 from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -366,6 +366,124 @@ def run_adaptive_skew(
         clients_per_replica=clients,
         solver_ms=0.0,
         max_txns=max_txns,
+        seed=seed,
+        **network,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def run_faults(
+    mode: str,
+    workload: str = "micro",
+    crash_site: int = 1,
+    crash_at_ms: float = 5_000.0,
+    outage_ms: float = 10_000.0,
+    cycles: int = 1,
+    cycle_gap_ms: float = 2_000.0,
+    num_replicas: int = 3,
+    clients_per_replica: int = 8,
+    num_items: int = 150,
+    refill: int = 100,
+    duration_ms: float = 25_000.0,
+    max_txns: int = 100_000,
+    seed: int = 0,
+    validate: bool = False,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """Availability under a site crash: homeostasis vs 2PC.
+
+    Site ``crash_site`` crash-stops at ``crash_at_ms`` (losing its
+    volatile treaty state; its database and treaty WAL are durable)
+    and recovers ``outage_ms`` later via WAL replay plus a rejoin
+    round; with ``cycles > 1`` the crash/recover pair repeats every
+    ``outage_ms + cycle_gap_ms`` (the *crash rate* axis -- each cycle
+    exercises the WAL replay and rejoin path again).  The run is
+    **duration-bounded** so the outages are a fixed fraction of every
+    mode's run and availabilities compare apples to apples.
+
+    Expected contrast (the Gray & Lamport blocking argument made
+    measurable): under ``mode="2pc"`` every commit needs every
+    replica, so availability collapses to ~0 for the whole outage --
+    clients cycle through ``sync_timeout_ms`` discovery stalls.  Under
+    ``mode="homeo"`` the surviving sites keep committing on their
+    local treaties; only transactions homed at the crashed site, or
+    whose violation closure includes it, fail.  Read the gap with
+    ``SimResult.availability_between(crash_at_ms, crash_at_ms +
+    outage_ms)``.
+
+    ``validate=True`` (homeo only) turns on the kernel's H1/H2 install
+    assertions *and* the recovery assertion that the WAL-replayed
+    treaty is identical to the cluster's treaty-table entry for the
+    rejoining site.
+    """
+    fault_events = []
+    for cycle in range(cycles):
+        start = crash_at_ms + cycle * (outage_ms + cycle_gap_ms)
+        fault_events.append(FaultEvent(at_ms=start, action="crash", site=crash_site))
+        fault_events.append(
+            FaultEvent(at_ms=start + outage_ms, action="recover", site=crash_site)
+        )
+    fault_events = tuple(fault_events)
+    if workload == "micro":
+        micro = MicroWorkload(
+            num_items=num_items,
+            refill=refill,
+            num_sites=num_replicas,
+            initial_qty="random",  # start at steady state
+            init_seed=seed + 1,
+        )
+        if mode == "homeo":
+            cluster = micro.build_homeostasis(
+                strategy="equal-split", validate=validate, seed=seed
+            )
+        elif mode == "2pc":
+            cluster = micro.build_2pc()
+        else:
+            raise ValueError(f"fault experiment modes: homeo/2pc, not {mode!r}")
+
+        def request_fn(rng, replica: int) -> SimRequest:
+            req = micro.next_request(rng, site=replica)
+            return SimRequest(req.tx_name, req.params, req.items, family="Buy")
+
+        network = {"rtt_ms": 100.0}
+    elif workload == "tpcc":
+        tpcc = TpccWorkload(
+            num_warehouses=2,
+            num_districts=2,
+            items_per_district=num_items,
+            num_sites=num_replicas,
+            hotness=10,
+        )
+        if mode == "homeo":
+            cluster = tpcc.build_homeostasis(
+                strategy="equal-split", validate=validate, seed=seed
+            )
+        elif mode == "2pc":
+            cluster = tpcc.build_2pc()
+        else:
+            raise ValueError(f"fault experiment modes: homeo/2pc, not {mode!r}")
+
+        def request_fn(rng, replica: int) -> SimRequest:
+            req = tpcc.next_request(rng, site=replica)
+            return SimRequest(req.tx_name, req.params, req.hot_key, family=req.family)
+
+        network = {
+            "rtt_matrix": rtt_matrix_for(num_replicas),
+            "cores_per_replica": 16,
+        }
+    else:
+        raise ValueError(f"fault experiment workloads: micro/tpcc, not {workload!r}")
+
+    config = SimConfig(
+        mode="homeo" if mode == "homeo" else "2pc",
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        solver_ms=0.0,
+        duration_ms=duration_ms,
+        max_txns=max_txns,
+        fault_events=fault_events,
         seed=seed,
         **network,
     )

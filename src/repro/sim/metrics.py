@@ -47,6 +47,10 @@ class TxnRecord:
     #: like any negotiation; charged to the triggering transaction)
     rebalance_ms: float = 0.0
     retries: int = 0
+    #: True when the transaction failed because a site it needed was
+    #: unreachable (crash-stop or partition); the record's latency is
+    #: the unavailability-discovery timeout the client paid
+    timed_out: bool = False
     #: sites the negotiation involved (empty for local commits or
     #: kernels that do not report participant-scoped rounds)
     participants: tuple[int, ...] = ()
@@ -100,6 +104,14 @@ class SimResult:
     rebalances: int = 0
     aborted_attempts: int = 0
     failed: int = 0
+    #: submissions that failed because a site they needed was
+    #: unreachable (a subset of ``failed``; the rest are lock-wait
+    #: timeouts under 2PC)
+    timeouts: int = 0
+    #: crashed-site recoveries performed during the run (WAL replay +
+    #: rejoin round), and their total priced cost
+    recoveries: int = 0
+    recovery_ms: float = 0.0
     measured_from_ms: float = 0.0
     measured_to_ms: float = 0.0
     num_replicas: int = 1
@@ -142,6 +154,41 @@ class SimResult:
             return 0.0
         synced = sum(1 for r in measured if r.kind == "sync")
         return synced / len(measured)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of completed submissions that committed (the
+        Bailis-style first-class metric of the fault experiments).
+        2PC's availability collapses to ~0 for the duration of any
+        outage; homeostasis only loses the closures that touch the
+        crashed site."""
+        total = self.committed + self.failed
+        if total == 0:
+            return 1.0
+        return self.committed / total
+
+    @property
+    def abort_ratio(self) -> float:
+        """Complement of :attr:`availability` (failed submissions per
+        completed submission)."""
+        return 1.0 - self.availability
+
+    def availability_between(self, t0_ms: float, t1_ms: float) -> float:
+        """Availability restricted to submissions *starting* inside
+        ``[t0_ms, t1_ms)`` -- used to read the availability floor
+        during an outage window specifically, where the homeo-vs-2PC
+        gap is sharpest."""
+        committed = failed = 0
+        for r in self.records:
+            if t0_ms <= r.start_ms < t1_ms:
+                if r.kind == "failed":
+                    failed += 1
+                else:
+                    committed += 1
+        total = committed + failed
+        if total == 0:
+            return 1.0
+        return committed / total
 
     @property
     def rebalance_ratio(self) -> float:

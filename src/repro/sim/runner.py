@@ -36,6 +36,17 @@ lost -- negotiations over disjoint participant closures proceed in
 parallel.  Per-transaction kernels (no ``submit_window``) fall back
 to per-key negotiation gates that approximate the same serialization.
 
+**Faults**: ``SimConfig.fault_events`` schedules site crash-stops and
+recoveries on the simulated clock; the driver forwards them to the
+kernel (``crash_site`` / ``recover_site``), prices each recovery's
+rejoin round from its participant edges, and converts the kernel's
+``Unavailable`` refusals into failed records costing the client
+``sync_timeout_ms`` (the time a real client spends discovering the
+site is unreachable before giving up).  ``SimResult.availability``
+and ``availability_between`` report the resulting commit fraction --
+the metric on which homeostasis (only closures touching the crashed
+site block) separates from 2PC (everything blocks).
+
 The clock is float milliseconds.  Determinism: one seeded RNG drives
 request generation and service times; the heap breaks ties by client
 id.
@@ -48,6 +59,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from repro.protocol.homeostasis import Unavailable
 from repro.sim.metrics import SimResult, TxnRecord
 from repro.sim.network import (
     max_rtt,
@@ -65,6 +77,22 @@ class SimRequest:
     params: dict[str, int]
     lock_keys: tuple
     family: str = ""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled site fault on the simulated clock.
+
+    ``action`` is ``'crash'`` (the site crash-stops, losing volatile
+    state) or ``'recover'`` (WAL replay + rejoin round; the kernel's
+    ``recover_site`` returns the rejoin participants, which the
+    simulator prices like any scoped negotiation).  Events fire just
+    before the first submission whose ready time reaches ``at_ms``.
+    """
+
+    at_ms: float
+    action: str  # 'crash' | 'recover'
+    site: int
 
 
 class SubmitTarget(Protocol):
@@ -100,6 +128,13 @@ class SimConfig:
     #: phase (requires a cluster with ``submit_window``; 0 keeps the
     #: per-transaction path)
     window_ms: float = 0.0
+    #: scheduled site crashes/recoveries (see :class:`FaultEvent`);
+    #: requires a kernel exposing ``crash_site`` / ``recover_site``
+    fault_events: tuple[FaultEvent, ...] = ()
+    #: what an unavailable submission costs its client: the time spent
+    #: discovering the needed site is unreachable (vote/sync timeout)
+    #: before giving up and re-entering the closed loop
+    sync_timeout_ms: float = 500.0
 
     def matrix(self) -> list[list[float]]:
         if self.rtt_matrix is not None:
@@ -117,6 +152,38 @@ class SimConfig:
                 f"{self.num_replicas} replicas"
             )
         return counts
+
+
+class _FaultSchedule:
+    """Applies scheduled crash/recover events to the kernel as the
+    simulated clock advances, pricing each recovery's rejoin round
+    from its participant edges."""
+
+    def __init__(
+        self,
+        events: tuple[FaultEvent, ...],
+        cluster,
+        matrix: list[list[float]],
+        fallback_ms: float,
+    ) -> None:
+        self._pending = sorted(events, key=lambda e: (e.at_ms, e.site))
+        self._cluster = cluster
+        self._matrix = matrix
+        self._fallback_ms = fallback_ms
+
+    def apply_due(self, now_ms: float, result: SimResult) -> None:
+        while self._pending and self._pending[0].at_ms <= now_ms:
+            event = self._pending.pop(0)
+            if event.action == "crash":
+                self._cluster.crash_site(event.site)
+            elif event.action == "recover":
+                participants = self._cluster.recover_site(event.site)
+                result.recoveries += 1
+                result.recovery_ms += negotiation_cost_ms(
+                    self._matrix, participants, fallback_ms=self._fallback_ms
+                )
+            else:
+                raise ValueError(f"unknown fault action {event.action!r}")
 
 
 def simulate(
@@ -164,6 +231,7 @@ def simulate(
     #: per key (cluster-wide) under 2PC.
     lock_free: dict[tuple, float] = {}
     now = 0.0
+    faults = _FaultSchedule(config.fault_events, cluster, matrix, sync_cost_ms)
 
     if (
         config.mode in ("homeo", "opt")
@@ -172,7 +240,7 @@ def simulate(
     ):
         return _simulate_windows(
             config, cluster, request_fn, rng, matrix, sync_cost_ms,
-            result, clients, cores, lock_free,
+            result, clients, cores, lock_free, faults,
         )
 
     while clients and result.committed < config.max_txns:
@@ -183,6 +251,7 @@ def simulate(
         if ready >= config.duration_ms:
             break
         now = ready
+        faults.apply_due(now, result)
         request = request_fn(rng, replica)
         service = rng.expovariate(1.0 / config.local_service_ms)
 
@@ -210,6 +279,8 @@ def simulate(
                 result.negotiations += 1
         else:
             result.failed += 1
+            if record.timed_out:
+                result.timeouts += 1
         result.rebalances += record.rebalances
         result.aborted_attempts += record.retries
         heapq.heappush(clients, (end, client, replica))
@@ -245,6 +316,7 @@ def _simulate_windows(
     clients: list[tuple[float, int, int]],
     cores: list[list[float]],
     lock_free: dict[tuple, float],
+    faults: _FaultSchedule,
 ) -> SimResult:
     """Drive a concurrent kernel with real interleaving.
 
@@ -271,6 +343,11 @@ def _simulate_windows(
     while clients and result.committed < config.max_txns:
         if clients[0][0] >= config.duration_ms:
             break
+        # Faults resolve at window boundaries: a crash lands between
+        # windows, never inside one (within-window granularity would
+        # need per-message timing the arrival-window model abstracts
+        # away).
+        faults.apply_due(clients[0][0], result)
         window_close = clients[0][0] + config.window_ms
         remaining = config.max_txns - result.committed
 
@@ -354,6 +431,24 @@ def _simulate_windows(
                     finish[li] = rerun_end
 
         for i, (entry, outcome) in enumerate(zip(entries, window.outcomes)):
+            if outcome.failed:
+                # Origin down, or the conflict group's scope contained
+                # a crashed site: the client pays the discovery timeout
+                # and retries after recovery.
+                end = finish[i] + config.sync_timeout_ms
+                result.records.append(
+                    TxnRecord(
+                        start_ms=entry.ready, end_ms=end, kind="failed",
+                        replica=entry.replica, family=entry.request.family,
+                        wait_ms=wait[i] + config.sync_timeout_ms,
+                        local_ms=local[i], retries=outcome.lost_votes,
+                        timed_out=True,
+                    )
+                )
+                result.failed += 1
+                result.timeouts += 1
+                heapq.heappush(clients, (end, entry.client, entry.replica))
+                continue
             kind = "sync" if outcome.synced else "local"
             record = TxnRecord(
                 start_ms=entry.ready, end_ms=finish[i], kind=kind,
@@ -444,7 +539,23 @@ def _run_protected(
         cores, lock_free, replica, ready, service, keys
     )
 
-    outcome = cluster.submit(request.tx_name, request.params)
+    try:
+        outcome = cluster.submit(request.tx_name, request.params)
+    except Unavailable:
+        # A site this transaction needs is unreachable (its origin
+        # crashed, or its violation's closure touches a crashed site).
+        # The client pays the discovery timeout and re-enters the
+        # closed loop; everyone else's transactions are untouched --
+        # the availability contrast with 2PC, where this branch fires
+        # for *every* submission during an outage.
+        end = local_end + config.sync_timeout_ms
+        record = TxnRecord(
+            start_ms=ready, end_ms=end, kind="failed", replica=replica,
+            family=request.family,
+            wait_ms=(start_exec - ready) + config.sync_timeout_ms,
+            local_ms=service, timed_out=True,
+        )
+        return end, record
     if not outcome.synced:
         rebalanced = tuple(getattr(outcome, "rebalanced", ()) or ())
         if not rebalanced:
@@ -548,9 +659,25 @@ def _run_2pc(
         # Execution sits inside the critical section, as in the seed:
         # the lock is held for service + two commit round trips.
         commit_end = lock_at + service + sync_cost_ms
+        try:
+            cluster.submit(request.tx_name, request.params)
+        except Unavailable:
+            # 2PC blocks: a cohort is unreachable, so the commit can
+            # never finish.  The transaction holds its item locks for
+            # the full wait-then-give-up window (propagating the
+            # outage onto every waiter of the same keys) and fails.
+            fail_end = lock_at + service + config.sync_timeout_ms
+            for key in request.lock_keys:
+                lock_free[("2pc", key)] = fail_end
+            record = TxnRecord(
+                start_ms=ready, end_ms=fail_end, kind="failed",
+                replica=replica, family=request.family,
+                wait_ms=(lock_at - ready) + config.sync_timeout_ms,
+                local_ms=service, retries=retries, timed_out=True,
+            )
+            return fail_end, record
         for key in request.lock_keys:
             lock_free[("2pc", key)] = commit_end
-        cluster.submit(request.tx_name, request.params)
         record = TxnRecord(
             start_ms=ready, end_ms=commit_end, kind="2pc", replica=replica,
             family=request.family,

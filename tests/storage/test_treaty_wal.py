@@ -1,0 +1,192 @@
+"""Treaty WAL: durability, torn tails, replay edge cases.
+
+Covers the recovery-critical corners the fault-tolerant runtime
+depends on:
+
+- round-trip encode/decode of a real installed local treaty;
+- a torn final record (crash mid-append) is dropped on replay and is
+  safe to drop *because* installs are logged before the ack;
+- replay is idempotent (replaying twice converges);
+- crash mid-install -- the install was logged but the ack never left
+  the site -- still recovers the logged treaty;
+- interior corruption (damage to an already-durable record) is loud.
+"""
+
+import pytest
+
+from repro.logic.linear import LinearConstraint, LinearExpr
+from repro.logic.terms import ObjT
+from repro.protocol.faults import FaultPlan
+from repro.storage.wal import (
+    TreatyWAL,
+    WALCorruption,
+    decode_local_treaty,
+    encode_local_treaty,
+)
+from repro.treaty.table import LocalTreaty
+from repro.workloads.micro import MicroWorkload
+
+
+def _clause(names_coeffs, op, bound):
+    expr = LinearExpr.make({ObjT(n): c for n, c in names_coeffs})
+    return LinearConstraint.make(expr, op, bound)
+
+
+def _sample_treaty():
+    return LocalTreaty(
+        site=1,
+        constraints=[
+            _clause([("qty_delta[0]@s1", 1)], "<=", 12),
+            _clause([("qty_delta[1]@s1", 2), ("qty_delta[2]@s1", -1)], "<=", 5),
+            _clause([("qty_base[0]", 1)], "=", 40),
+        ],
+    )
+
+
+class TestCodec:
+    def test_round_trip(self):
+        treaty = _sample_treaty()
+        headroom = {treaty.constraints[0]: 7, treaty.constraints[1]: 3}
+        record = encode_local_treaty(treaty, headroom)
+        decoded, decoded_headroom = decode_local_treaty(record)
+        assert decoded.site == treaty.site
+        assert [c.pretty() for c in decoded.constraints] == [
+            c.pretty() for c in treaty.constraints
+        ]
+        assert decoded_headroom == {
+            decoded.constraints[0]: 7,
+            decoded.constraints[1]: 3,
+        }
+
+    def test_round_trip_of_real_installed_treaty(self):
+        workload = MicroWorkload(num_items=20, refill=30, num_sites=2)
+        cluster = workload.build_homeostasis(strategy="equal-split")
+        site = cluster.sites[0]
+        record = encode_local_treaty(site.local_treaty, site.install_headroom)
+        decoded, headroom = decode_local_treaty(record)
+        assert {c.pretty() for c in decoded.constraints} == {
+            c.pretty() for c in site.local_treaty.constraints
+        }
+        assert set(headroom.values()) == set(site.install_headroom.values())
+
+
+class TestTornTail:
+    def test_torn_final_record_dropped(self):
+        wal = TreatyWAL()
+        wal.append({"kind": "treaty_install", "round": 1, "n": 1})
+        wal.append({"kind": "treaty_install", "round": 2, "n": 2})
+        wal.tear(5)  # crash mid-append of record 2
+        records = wal.records()
+        assert [r["round"] for r in records] == [1]
+        assert wal.last_treaty_install()["round"] == 1
+
+    def test_fully_torn_log_is_empty(self):
+        wal = TreatyWAL()
+        wal.append({"kind": "treaty_install", "round": 1})
+        wal.tear(wal.size_bytes())
+        assert wal.records() == []
+        assert wal.last_treaty_install() is None
+
+    def test_truncate_torn_tail_repairs_in_place(self):
+        wal = TreatyWAL()
+        wal.append({"kind": "treaty_install", "round": 1})
+        size_after_one = wal.size_bytes()
+        wal.append({"kind": "treaty_install", "round": 2})
+        wal.tear(3)
+        removed = wal.truncate_torn_tail()
+        assert removed > 0
+        assert wal.size_bytes() == size_after_one
+        # The repaired log appends and replays normally.
+        wal.append({"kind": "treaty_install", "round": 3})
+        assert [r["round"] for r in wal.records()] == [1, 3]
+
+    def test_interior_corruption_is_loud(self):
+        wal = TreatyWAL()
+        wal.append({"kind": "treaty_install", "round": 1})
+        wal.append({"kind": "treaty_install", "round": 2})
+        wal._buf[2:6] = b"\x00\x00\x00\x00"  # damage a durable record
+        with pytest.raises(WALCorruption):
+            wal.records()
+
+
+class TestReplay:
+    def _cluster(self, **kwargs):
+        workload = MicroWorkload(
+            num_items=16, refill=12, num_sites=2, initial_qty="refill"
+        )
+        return workload, workload.build_homeostasis(
+            strategy="equal-split", validate=True, **kwargs
+        )
+
+    def _drive_until_negotiation(self, workload, cluster, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(400):
+            req = workload.next_request(rng, site=rng.randrange(2))
+            if cluster.submit(req.tx_name, req.params).synced:
+                return
+        raise AssertionError("workload never negotiated")
+
+    def test_replay_restores_last_install(self):
+        workload, cluster = self._cluster()
+        self._drive_until_negotiation(workload, cluster)
+        site = cluster.sites[1]
+        expected = {c.pretty() for c in site.local_treaty.constraints}
+        expected_round = site.treaty_round
+        expected_headroom = dict(site.install_headroom)
+
+        site.local_treaty = None  # crash: volatile state gone
+        site.install_headroom = {}
+        assert site.replay_wal() == expected_round
+        assert {c.pretty() for c in site.local_treaty.constraints} == expected
+        # The recorded headroom snapshot survives (not recomputed from
+        # the current state, where slack may already be consumed).
+        assert sorted(site.install_headroom.values()) == sorted(
+            expected_headroom.values()
+        )
+
+    def test_replay_is_idempotent(self):
+        workload, cluster = self._cluster()
+        self._drive_until_negotiation(workload, cluster)
+        site = cluster.sites[0]
+        appended_before = site.wal.appended
+        first = site.replay_wal()
+        state_first = {c.pretty() for c in site.local_treaty.constraints}
+        second = site.replay_wal()
+        assert first == second
+        assert {c.pretty() for c in site.local_treaty.constraints} == state_first
+        # Replays must not re-append to the log.
+        assert site.wal.appended == appended_before
+
+    def test_crash_mid_install_recovers_logged_treaty(self):
+        """Install logged but ack never sent: the site crash-stops on
+        the TreatyInstall message itself (the coordinator-ships-it
+        path of a nondeterministic solver).  The coordinator observes
+        a timeout -- but log-before-ack means recovery still has the
+        treaty, so no peer's belief about this site is ever wrong."""
+        from repro.protocol.messages import TreatyInstall
+        from repro.protocol.transport import UnreachableError
+
+        workload = MicroWorkload(
+            num_items=16, refill=12, num_sites=2, initial_qty="refill"
+        )
+        cluster = workload.build_homeostasis(strategy="equal-split")
+        site = cluster.sites[1]
+        shipped = _sample_treaty()
+
+        handled = cluster.transport._handled.get(1, 0)
+        cluster.transport.faults = FaultPlan(crash_after={1: handled + 1})
+        with pytest.raises(UnreachableError):
+            cluster.transport.send(
+                TreatyInstall(src=0, dst=1, round_number=99, treaty=shipped)
+            )
+        assert cluster.transport.is_down(1)
+
+        # Restart: volatile state gone, WAL survives.
+        site.local_treaty = None
+        site.install_headroom = {}
+        assert site.replay_wal() == 99
+        assert [c.pretty() for c in site.local_treaty.constraints] == [
+            c.pretty() for c in shipped.constraints
+        ]

@@ -1,0 +1,86 @@
+"""Docs smoke: intra-repo markdown links must resolve.
+
+Scans every tracked ``*.md`` file (repo root, ``docs/``, and any other
+directory) for inline markdown links and reference-style definitions,
+and fails if a relative link points at a file or directory that does
+not exist.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped -- this is a rot detector
+for the repo's own tree, not a web crawler.
+
+Run it from the repo root (CI's ``docs`` job does)::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline links ``[text](target)`` -- non-greedy, one line, and
+#: reference definitions ``[label]: target``
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: directories never scanned (virtualenvs, caches, generated output)
+SKIP_DIRS = {".git", ".venv", "venv", "__pycache__", ".pytest_cache",
+             "bench-results", ".hypothesis", "node_modules"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def link_targets(text: str):
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    failures: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for target in link_targets(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # Strip an in-page anchor; checking a heading's existence is a
+        # rendering concern, the file's existence is the rot signal.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            failures.append(f"{path}: link escapes the repo: {target}")
+            continue
+        if not resolved.exists():
+            failures.append(f"{path}: broken link: {target}")
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    scanned = 0
+    failures: list[str] = []
+    for path in iter_markdown(root):
+        scanned += 1
+        failures.extend(check_file(path, root))
+    if failures:
+        print(f"{len(failures)} broken link(s) in {scanned} markdown file(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve across {scanned} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
