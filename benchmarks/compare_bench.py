@@ -25,7 +25,18 @@ Gates (per scenario):
   is a wall-clock *ratio* measured on the host -- it is robust to a
   uniformly slow machine but a noisy shared runner can shave a few
   tenths, and the gate's job is to catch the fast path being broken
-  (ratio collapsing to ~1x), not to relitigate the margin.
+  (ratio collapsing to ~1x), not to relitigate the margin;
+- the escrow-counter microbenchmark ``escrow_speedup`` (escrow
+  commits over compiled-closure checks) must stay at or above
+  ``--min-escrow-speedup`` (default 5.0) -- same one-shared-
+  measurement, judged-once treatment as the compiled speedup, with
+  the recorded values sitting at >10x;
+- ``escrow_eligible_ratio`` (eligible installs / installs, fully
+  deterministic under the fixed seed) must not drop below the
+  baseline on the ``micro`` and ``adaptive_skew`` scenarios: a
+  lowering change that silently sends real treaties back to the
+  compiled slow path should fail loudly, not vanish into a
+  throughput wobble.
 
 ``wall_time_s`` and absolute check rates are host-dependent and only
 reported, never gated.  Exit status is non-zero iff any gate fails,
@@ -54,9 +65,16 @@ def _load(path: Path) -> dict:
     with path.open() as fh:
         record = json.load(fh)
     version = record.get("schema_version")
-    if version != 1:
+    if version != 2:
         raise SystemExit(f"{path}: unsupported schema_version {version!r}")
     return record
+
+
+#: scenarios whose escrow eligibility ratio is gated against the
+#: baseline (the protocol scenarios where the escrow path carries the
+#: commit load; the fault scenario crashes accounts mid-run and the
+#: geo/contention scenarios are covered transitively by the lowering)
+ESCROW_ELIGIBILITY_SCENARIOS = ("micro", "adaptive_skew")
 
 
 def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[str]:
@@ -92,6 +110,15 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
             f"{name}: p99 latency regressed {base_p99:.1f} -> {cur_p99:.1f} ms "
             f"(> {threshold:.0%} rise)"
         )
+
+    if name in ESCROW_ELIGIBILITY_SCENARIOS:
+        base_elig = baseline["escrow_eligible_ratio"]
+        cur_elig = current["escrow_eligible_ratio"]
+        if cur_elig < base_elig:
+            failures.append(
+                f"{name}: escrow eligibility dropped {base_elig:.4f} -> "
+                f"{cur_elig:.4f} (treaties falling back to the compiled path)"
+            )
 
     failures.extend(adaptive_gate_failures(name, current))
     failures.extend(fault_gate_failures(name, current))
@@ -171,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--min-escrow-speedup", type=float, default=5.0)
     args = parser.parse_args(argv)
 
     baselines = sorted(args.baseline.glob("BENCH_*.json"))
@@ -180,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     speedups: list[float] = []
+    escrow_speedups: list[float] = []
     for base_path in baselines:
         baseline = _load(base_path)
         cur_path = args.current / base_path.name
@@ -188,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             continue
         current = _load(cur_path)
         speedups.append(current["check_microbench"]["speedup"])
+        escrow_speedups.append(current["check_microbench"]["escrow_speedup"])
         scenario_failures = compare_scenario(baseline, current, args.threshold)
         failures.extend(scenario_failures)
         status = "FAIL" if scenario_failures else "ok"
@@ -198,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
             f"sync {baseline['sync_ratio']:.4f} -> {current['sync_ratio']:.4f}, "
             f"p99 {baseline['p99_ms']:.1f} -> {current['p99_ms']:.1f} ms, "
             f"check speedup {current['check_microbench']['speedup']:.2f}x, "
+            f"escrow {current['check_microbench']['escrow_speedup']:.2f}x "
+            f"(eligible {current.get('escrow_eligible_ratio', 0.0):.2f}), "
             f"wall {current['wall_time_s']:.2f}s (baseline "
             f"{baseline['wall_time_s']:.2f}s, not gated)"
         )
@@ -228,6 +260,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"treaty-check speedup {max(speedups):.2f}x below the "
             f"{args.min_speedup:.1f}x floor"
+        )
+    if escrow_speedups and max(escrow_speedups) < args.min_escrow_speedup:
+        failures.append(
+            f"escrow-check speedup {max(escrow_speedups):.2f}x below the "
+            f"{args.min_escrow_speedup:.1f}x floor"
         )
 
     if failures:

@@ -13,18 +13,20 @@ scenarios (each one a prepackaged experiment from
 - a **treaty-check microbenchmark**: the same installed local treaty
   checked through the interpreted reference
   (:func:`repro.logic.compile.interpret_clauses`, the seed's per-call
-  AST walk) and through the compiled closure fast path
-  (:func:`repro.logic.compile.compile_clauses`), reported as checks/s
-  and speedup,
+  AST walk), through the compiled closure fast path
+  (:func:`repro.logic.compile.compile_clauses`), and through the
+  escrow headroom counters
+  (:class:`repro.treaty.escrow.EscrowAccount`), reported as checks/s
+  and speedups,
 
 and writes one ``BENCH_<scenario>.json`` per scenario with the stable
 schema below.  ``compare_bench.py`` diffs a run against the committed
 baselines and fails on regressions; CI runs both on every push.
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "scenario": str,            # harness scenario name
       "mode": str,                # kernel mode the scenario ran
       "txns": int,                # committed transactions
@@ -34,12 +36,29 @@ Schema (``schema_version`` 1)::
       "throughput_txn_per_s": float,   # simulated clock, deterministic
       "sync_ratio": float,             # deterministic
       "p50_ms": float, "p99_ms": float,  # deterministic
+      # run-level escrow fast-path counters from the kernel
+      # (deterministic under the fixed seed)
+      "escrow_eligible_ratio": float,  # eligible installs / installs
+      "escrow": {
+        "installs": int, "eligible_installs": int,
+        "eligible_ratio": float,
+        "sites_with_treaty": int, "sites_on_escrow": int,
+        "fast_commits": int,      # admitted by the window guard alone
+        "settled_commits": int,   # judged on exact counters
+        "settlements": int, "violations": int, "resyncs": int
+      },
       "check_microbench": {
         "clauses": int,
         "iterations": int,
         "interpreted_checks_per_s": float,
         "compiled_checks_per_s": float,
-        "speedup": float          # compiled / interpreted
+        "speedup": float,         # compiled / interpreted
+        "escrow_checks_per_s": float,    # counter commits / s
+        "escrow_speedup": float,  # escrow / compiled
+        "escrow_window": {        # batching behaviour during the bench
+          "window": int, "rows": int, "fast_commits": int,
+          "settled_commits": int, "settlements": int
+        }
       },
       # adaptive_skew only: the adaptive-beats-static comparison at
       # the high-skew point, gated by compare_bench.py
@@ -84,7 +103,11 @@ from pathlib import Path
 if __package__ in (None, ""):  # script mode: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.logic.compile import compile_clauses, interpret_clauses  # noqa: E402
+from repro.logic.compile import (  # noqa: E402
+    compile_clauses,
+    interpret_clauses,
+    lower_to_escrow,
+)
 from repro.sim.experiments import (  # noqa: E402
     run_adaptive_skew,
     run_contention,
@@ -92,9 +115,10 @@ from repro.sim.experiments import (  # noqa: E402
     run_geo,
     run_micro,
 )
+from repro.treaty.escrow import EscrowAccount  # noqa: E402
 from repro.workloads.micro import MicroWorkload  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: iterations of the treaty-check microbenchmark (per implementation)
 CHECK_ITERATIONS = 20_000
@@ -108,6 +132,13 @@ def _check_microbench(iterations: int = CHECK_ITERATIONS) -> dict:
     the same snapshot lookup, so the measured difference is purely the
     check mechanism: one compiled closure call versus an AST walk per
     clause.
+
+    The escrow leg times :meth:`EscrowAccount.commit` on the same
+    treaty's lowered program, fed alternating +1/-1 single-object
+    deltas (refill first, so nothing ever violates) against synthetic
+    healthy headroom -- honest because commit cost is independent of
+    the slack values except through settlement frequency, which the
+    recorded ``escrow_window`` stats make auditable.
     """
     workload = MicroWorkload(
         num_items=50, refill=100, num_sites=2, initial_qty="random", init_seed=1
@@ -135,12 +166,39 @@ def _check_microbench(iterations: int = CHECK_ITERATIONS) -> dict:
 
     interpreted_rate = best_rate(lambda: interpret_clauses(constraints, getobj))
     compiled_rate = best_rate(lambda: compiled(getobj))
+
+    program = lower_to_escrow(tuple(constraints))
+    if program is None:
+        raise AssertionError("microbench treaty must be escrow-eligible")
+    account = EscrowAccount(program, [1000] * len(program.rows))
+    commit = account.commit
+    obj = program.rows[0].expr.coeffs[0][0].name
+    up, down = {obj: 1}, {obj: -1}
+    if commit(up) is not None or commit(down) is not None:
+        raise AssertionError("escrow microbench deltas must never violate")
+    escrow_rate = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(0, iterations, 2):
+            commit(up)
+            commit(down)
+        escrow_rate = max(escrow_rate, iterations / (time.perf_counter() - t0))
+    window = account.stats()
     return {
         "clauses": len(constraints),
         "iterations": iterations,
         "interpreted_checks_per_s": round(interpreted_rate, 1),
         "compiled_checks_per_s": round(compiled_rate, 1),
         "speedup": round(compiled_rate / interpreted_rate, 3),
+        "escrow_checks_per_s": round(escrow_rate, 1),
+        "escrow_speedup": round(escrow_rate / compiled_rate, 3),
+        "escrow_window": {
+            "window": account.window,
+            "rows": len(program.rows),
+            "fast_commits": window["fast_commits"],
+            "settled_commits": window["settled_commits"],
+            "settlements": window["settlements"],
+        },
     }
 
 
@@ -281,6 +339,8 @@ def run_scenario(name: str, check_microbench: dict | None = None) -> dict:
         "sync_ratio": round(result.sync_ratio, 5),
         "p50_ms": round(stats.p50, 3),
         "p99_ms": round(stats.p99, 3),
+        "escrow": dict(result.escrow),
+        "escrow_eligible_ratio": result.escrow.get("eligible_ratio", 0.0),
         "check_microbench": check_microbench or _check_microbench(),
     }
     record.update(extras)
@@ -320,7 +380,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{record['throughput_txn_per_s']:.1f} txn/s (sim), "
             f"sync ratio {record['sync_ratio']:.4f}, "
             f"wall {record['wall_time_s']:.2f}s, "
-            f"check speedup {mb['speedup']:.2f}x -> {path}"
+            f"check speedup {mb['speedup']:.2f}x, "
+            f"escrow {mb['escrow_speedup']:.2f}x/"
+            f"{record['escrow_eligible_ratio']:.2f} -> {path}"
         )
     return 0
 

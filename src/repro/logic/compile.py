@@ -21,7 +21,15 @@ objects built with :func:`compile`:
 - :func:`compile_clause` / :func:`compile_clauses` turn normalized
   linear treaty constraints into closures over ``getobj`` alone,
   equivalent to :func:`interpret_clauses` (the interpreted reference
-  kept for differential tests and benchmarks).
+  kept for differential tests and benchmarks);
+- :func:`lower_to_escrow` classifies a clause set for the **escrow
+  fast path** (:mod:`repro.treaty.escrow`): a conjunction whose every
+  clause is a linear ``<=``-bound or equality pin over ground objects
+  lowers to an :class:`EscrowProgram` -- the static shape (per-row
+  coefficients, object-to-row index, worst-case coefficient
+  magnitudes) that a site's headroom counters are run from.  Anything
+  else (non-object variables, non-normalized operators) returns
+  ``None`` and stays on the compiled-closure path.
 
 Compilation is memoized on the (hashable, immutable) AST nodes, so
 recurring guards and the value-keyed treaty pieces the incremental
@@ -33,6 +41,7 @@ objects).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.logic.formula import And, BoolConst, Cmp, Formula, Not, Or
@@ -98,6 +107,159 @@ def compiled_counts() -> dict[str, int]:
         "clauses": len(_clause_cache),
         "conjunctions": len(_conjunction_cache),
     }
+
+
+# -- escrow lowering (the counter fast path's static shape) ---------------
+
+
+#: drain coefficient assigned to objects pinned by an equality clause:
+#: large enough that any nonzero delta to a pinned object exceeds any
+#: realistic window budget, forcing the exact settle-and-check path
+#: (a pin has zero headroom in at least one direction, so there is no
+#: slack to consume optimistically)
+PIN_DRAIN = 1 << 60
+
+
+@dataclass(frozen=True, eq=False)
+class EscrowProgram:
+    """Static shape of an escrow-eligible clause set.
+
+    One program per distinct constraint tuple (memoized like the
+    compiled closures); the mutable counter state lives in
+    :class:`repro.treaty.escrow.EscrowAccount`, so many accounts (one
+    per install) can share one lowering.
+
+    Each source clause lowers to one or two counter **rows**, every
+    row a ``<=``-bound: a ``<=`` clause is its own row, and an
+    equality pin ``e = b`` becomes the opposing pair ``e <= b`` and
+    ``-e <= -b`` (both have zero slack exactly when the pin holds, so
+    a row going negative is precisely the pin breaking in that
+    direction).  Pin rows are excluded from the window budget -- they
+    have no headroom to lend -- and pinned objects carry a
+    :data:`PIN_DRAIN` worst-case coefficient so any write that moves
+    one lands on the exact path.
+    """
+
+    #: the source clauses, in treaty order (the memo key)
+    constraints: tuple[LinearConstraint, ...]
+    #: counter rows, every one a normalized ``<=``-constraint
+    rows: tuple[LinearConstraint, ...]
+    #: per row: the index of the source clause it was lowered from
+    row_source: tuple[int, ...]
+    #: per row: the normalized right-hand bound
+    bounds: tuple[int, ...]
+    #: per row: the names of the objects its source clause mentions
+    #: (violation reconstruction returns exactly these, matching the
+    #: object set ``LocalTreaty.violations_after_writes`` reports)
+    clause_objects: tuple[tuple[str, ...], ...]
+    #: row indices participating in the window budget (rows lowered
+    #: from ``<=`` clauses; pin rows never lend headroom)
+    budget_rows: tuple[int, ...]
+    #: object name -> ((row index, coefficient), ...) for every row
+    #: mentioning it
+    touching: Mapping[str, tuple[tuple[int, int], ...]]
+    #: object name -> max |coefficient| across the rows mentioning it:
+    #: a one-unit write to the object can drain at most this much
+    #: headroom from any single budget row (the window guard's worst
+    #: case); :data:`PIN_DRAIN` for pinned objects
+    max_coeff: Mapping[str, int]
+
+
+_escrow_cache: dict[tuple[LinearConstraint, ...], "EscrowProgram | None"] = {}
+_escrow_counts = {"hits": 0, "misses": 0, "ineligible": 0}
+_ESCROW_MISSING = object()
+
+
+def escrow_counts() -> dict[str, int]:
+    """Escrow lowering-cache statistics (observability for the
+    nightly figure sweeps and the benchmark harness)."""
+    return {"programs": len(_escrow_cache), **_escrow_counts}
+
+
+def lower_to_escrow(
+    constraints: Iterable[LinearConstraint],
+) -> EscrowProgram | None:
+    """Lower a clause set to its escrow program, or ``None`` if any
+    clause is ineligible.
+
+    Eligibility rule: every clause must be a linear ``<=``-bound or
+    equality pin over ground objects (the two normal forms
+    :meth:`LinearConstraint.make` produces).  For a ``<=`` clause,
+    slack ``bound - sum(coeff_i * D(x_i))`` is an integer headroom
+    counter that a commit's deltas update incrementally -- exactly the
+    numeric-invariant class that admits escrow-style local
+    enforcement.  An equality pin lowers to an opposing pair of
+    zero-slack rows (see :class:`EscrowProgram`).  Any clause over
+    non-object variables sends the whole treaty to the compiled slow
+    path.
+    """
+    cons = tuple(constraints)
+    cached = _escrow_cache.get(cons, _ESCROW_MISSING)
+    if cached is not _ESCROW_MISSING:
+        _escrow_counts["hits"] += 1
+        return cached  # type: ignore[return-value]
+    _escrow_counts["misses"] += 1
+    program = _lower_escrow(cons)
+    if program is None:
+        _escrow_counts["ineligible"] += 1
+    return _remember(_escrow_cache, cons, program)
+
+
+def _lower_escrow(cons: tuple[LinearConstraint, ...]) -> EscrowProgram | None:
+    touching: dict[str, list[tuple[int, int]]] = {}
+    max_coeff: dict[str, int] = {}
+    rows: list[LinearConstraint] = []
+    row_source: list[int] = []
+    bounds: list[int] = []
+    clause_objects: list[tuple[str, ...]] = []
+    budget_rows: list[int] = []
+
+    def add_row(src: int, row: LinearConstraint, names: tuple[str, ...]) -> int:
+        idx = len(rows)
+        rows.append(row)
+        row_source.append(src)
+        bounds.append(row.bound)
+        clause_objects.append(names)
+        for var, coeff in row.expr.coeffs:
+            touching.setdefault(var.name, []).append((idx, coeff))
+        return idx
+
+    for src, con in enumerate(cons):
+        if con.op not in ("<=", "="):
+            return None
+        names: list[str] = []
+        for var, _coeff in con.expr.coeffs:
+            if not isinstance(var, ObjT):
+                return None
+            names.append(var.name)
+        if not con.expr.coeffs:
+            # Coefficient-less clauses (trivially true, or the
+            # canonical-false normal form) mention no object, so
+            # neither check path can ever attribute a violation to
+            # them -- they lower to no row at all.
+            continue
+        objs = tuple(names)
+        if con.op == "<=":
+            budget_rows.append(add_row(src, con, objs))
+            for var, coeff in con.expr.coeffs:
+                magnitude = coeff if coeff >= 0 else -coeff
+                if magnitude > max_coeff.get(var.name, 0):
+                    max_coeff[var.name] = magnitude
+        else:
+            add_row(src, LinearConstraint(con.expr, "<=", con.bound), objs)
+            add_row(src, LinearConstraint(con.expr.scaled(-1), "<=", -con.bound), objs)
+            for name in objs:
+                max_coeff[name] = PIN_DRAIN
+    return EscrowProgram(
+        constraints=cons,
+        rows=tuple(rows),
+        row_source=tuple(row_source),
+        bounds=tuple(bounds),
+        clause_objects=tuple(clause_objects),
+        budget_rows=tuple(budget_rows),
+        touching={name: tuple(pairs) for name, pairs in touching.items()},
+        max_coeff=max_coeff,
+    )
 
 
 # -- codegen ---------------------------------------------------------------

@@ -60,6 +60,17 @@ unaffected.  Failed violators do not re-run within the window: their
 negotiation needs the crashed site by definition, so the client
 retries after recovery.  Losing *refresh* desires of a failed group
 are dropped silently -- their transactions already committed.
+
+Optimistic execution inherits the per-site commit check unchanged:
+each origin site's :class:`~repro.protocol.site.SiteServer` decides
+admission through the escrow headroom counters
+(:mod:`repro.treaty.escrow`) when its installed treaty is
+escrow-eligible, falling back to the compiled closure otherwise, so a
+window's violators are exactly the transactions whose decrements
+would drive a counter negative.  Wave installs route through
+``install_treaty`` and so re-lower the counters; the sync phase's
+pokes bump the engine epoch, which lazily resynchronizes any site
+whose counters a concurrent wave made stale.
 """
 
 from __future__ import annotations

@@ -606,6 +606,9 @@ class HomeostasisCluster:
         self.sites: dict[int, SiteServer] = {}
         for sid in self.site_ids:
             server = SiteServer(site_id=sid, locate=locate, arrays=arrays)
+            # Validate mode runs the compiled oracle next to every
+            # escrow fast-path check and asserts the verdicts agree.
+            server.validate_escrow = validate
             for table in tables:
                 server.catalog.register(table)
             server.engine.store.apply(initial_db)
@@ -1148,6 +1151,46 @@ class HomeostasisCluster:
                 warmed += 1
         return warmed
 
+    def escrow_stats(self) -> dict:
+        """Cluster-wide escrow fast-path statistics.
+
+        ``eligible_ratio`` is the fraction of treaty installs (over the
+        whole run, across every site) that lowered to escrow counters;
+        the commit counters aggregate live accounts and every retired
+        one, so reinstalls do not erase history.  Deterministic under a
+        fixed seed, which is what lets the benchmark gate on it.
+        """
+        totals: dict[str, int] = {}
+        installs = eligible = sites_with_treaty = sites_on_escrow = 0
+        for server in self.sites.values():
+            installs += server.escrow_installs + server.escrow_ineligible_installs
+            eligible += server.escrow_installs
+            if server.local_treaty is not None:
+                sites_with_treaty += 1
+                if server.escrow is not None:
+                    sites_on_escrow += 1
+            for key, value in server.escrow_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "installs": installs,
+            "eligible_installs": eligible,
+            "eligible_ratio": round(eligible / installs, 5) if installs else 0.0,
+            "sites_with_treaty": sites_with_treaty,
+            "sites_on_escrow": sites_on_escrow,
+            **totals,
+        }
+
+    def check_mechanism(self) -> str:
+        """The commit-check mechanism this kernel is running on:
+        ``"escrow"`` when every treaty-bearing site holds lowered
+        headroom counters, ``"compiled"`` otherwise.  The simulator
+        reads this once at run start to price the per-commit check
+        service component."""
+        bearing = [s for s in self.sites.values() if s.local_treaty is not None]
+        if bearing and all(s.escrow is not None for s in bearing):
+            return "escrow"
+        return "compiled"
+
     # -- inspection ----------------------------------------------------------------
 
     def global_state(self) -> dict[str, int]:
@@ -1199,6 +1242,7 @@ class HomeostasisCluster:
         server.local_treaty = None
         server.install_headroom = {}
         server.treaty_round = -1
+        server.drop_escrow()
 
     def recover_site(self, sid: int) -> tuple[int, ...]:
         """Restart a crashed site: WAL replay, Rejoin, scoped re-sync.

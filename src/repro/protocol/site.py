@@ -13,6 +13,15 @@ the stored procedure whose guard matches, run it inside a storage
 transaction, check the local treaty before commit, and either commit
 (returning the log) or abort and report the treaty violation.
 
+The treaty check itself has two tiers.  Treaties whose clauses are
+all linear ``<=``-bounds are lowered at install time into **escrow
+headroom counters** (:mod:`repro.treaty.escrow`): the commit check
+becomes counter subtractions driven by the undo journal's write
+deltas, with batched window settlement.  Everything else -- and every
+commit in ``validate_escrow`` mode, which runs both tiers and asserts
+agreement -- goes through the compiled-closure check
+(:meth:`~repro.treaty.table.LocalTreaty.violations_after_writes`).
+
 Treaty installs are **durable**: every install (and every rebalance
 request this site acknowledges) is appended to the site's
 :class:`~repro.storage.wal.TreatyWAL` *before* it is applied or
@@ -29,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.lang.interp import ExecContext, execute
+from repro.logic.compile import lower_to_escrow
 from repro.logic.linear import LinearConstraint
 from repro.protocol.catalog import StoredProcedureCatalog
 from repro.protocol.messages import (
@@ -43,6 +53,7 @@ from repro.protocol.messages import (
 )
 from repro.storage.engine import LocalEngine
 from repro.storage.wal import TreatyWAL, decode_local_treaty, encode_local_treaty
+from repro.treaty.escrow import EscrowAccount, EscrowDivergence
 from repro.treaty.table import LocalTreaty
 
 
@@ -94,6 +105,21 @@ class SiteServer:
     wal: TreatyWAL = field(default_factory=TreatyWAL)
     #: round number of the currently installed treaty (-1 before any)
     treaty_round: int = -1
+    #: escrow fast-path account for the installed treaty; None when no
+    #: treaty is installed or the treaty is escrow-ineligible (any
+    #: clause over non-object variables keeps the compiled slow path)
+    escrow: EscrowAccount | None = None
+    #: run the compiled oracle next to every escrow check and raise
+    #: :class:`~repro.treaty.escrow.EscrowDivergence` on disagreement
+    #: (the cluster's validate mode turns this on)
+    validate_escrow: bool = False
+    #: stats folded out of replaced/dropped escrow accounts, so
+    #: run-level counters survive treaty reinstalls
+    escrow_retired: dict[str, int] = field(default_factory=dict)
+    #: installs that produced an escrow account vs. ones that fell back
+    #: to the compiled path (the eligibility ratio the benchmark gates)
+    escrow_installs: int = 0
+    escrow_ineligible_installs: int = 0
 
     def install_treaty(
         self, treaty: LocalTreaty, round_number: int = -1, log: bool = True
@@ -126,6 +152,7 @@ class SiteServer:
         self.local_treaty = treaty
         self.install_headroom = headroom
         self.treaty_round = round_number
+        self._rebuild_escrow(headroom)
 
     def replay_wal(self) -> int:
         """Restart path: restore the treaty state from the durable log.
@@ -142,6 +169,7 @@ class SiteServer:
             self.local_treaty = None
             self.install_headroom = {}
             self.treaty_round = -1
+            self.drop_escrow()
             return -1
         treaty, headroom = decode_local_treaty(record)
         self.local_treaty = treaty
@@ -150,7 +178,70 @@ class SiteServer:
         # low-watermark would silently reset at every recovery.
         self.install_headroom = headroom
         self.treaty_round = record["round"]
+        # The escrow counters take the opposite stance: the recorded
+        # grants are the *install-time* slack, and everything consumed
+        # since lives in the durable store -- so recovery rebuilds the
+        # account from the WAL record and then resynchronizes it
+        # against the store, leaving counters identical to a freshly
+        # lowered treaty on the recovered state.
+        self._rebuild_escrow(headroom)
+        if self.escrow is not None:
+            self.escrow.resync(self.engine.peek, self.engine.epoch)
         return self.treaty_round
+
+    # -- escrow fast-path plumbing -------------------------------------------------
+
+    def _rebuild_escrow(self, headroom: Mapping[LinearConstraint, int]) -> None:
+        """Lower the installed treaty to a fresh escrow account (or
+        fall back to the compiled path when ineligible).
+
+        A ``<=``-clause row starts at the install-time grant (the same
+        snapshot the adaptive watermark keeps); rows with no grant --
+        an equality pin's opposing pair -- take their slack straight
+        from the synchronized store.
+        """
+        self._fold_escrow_stats()
+        program = (
+            lower_to_escrow(tuple(self.local_treaty.constraints))
+            if self.local_treaty is not None
+            else None
+        )
+        if program is None:
+            self.escrow = None
+            if self.local_treaty is not None:
+                self.escrow_ineligible_installs += 1
+            return
+        peek = self.engine.peek
+        self.escrow = EscrowAccount(
+            program,
+            [
+                headroom[row] if row in headroom else clause_slack(row, peek)
+                for row in program.rows
+            ],
+            epoch=self.engine.epoch,
+        )
+        self.escrow_installs += 1
+
+    def drop_escrow(self) -> None:
+        """Retire the current escrow account (crash-stop, treaty
+        removal); its counters fold into the run-level stats."""
+        self._fold_escrow_stats()
+        self.escrow = None
+
+    def _fold_escrow_stats(self) -> None:
+        if self.escrow is None:
+            return
+        for key, value in self.escrow.stats().items():
+            self.escrow_retired[key] = self.escrow_retired.get(key, 0) + value
+
+    def escrow_stats(self) -> dict[str, int]:
+        """Run-level escrow counters: retired accounts plus the live
+        one."""
+        out = dict(self.escrow_retired)
+        if self.escrow is not None:
+            for key, value in self.escrow.stats().items():
+                out[key] = out.get(key, 0) + value
+        return out
 
     # -- the online execution path (Section 5.1) ---------------------------------
 
@@ -171,9 +262,53 @@ class SiteServer:
             proc.run(ctx)
             self._assert_writes_local(txn.written, tx_name)
             if self.local_treaty is not None:
-                violated = self.local_treaty.violations_after_writes(
-                    getobj, txn.written
-                )
+                escrow = self.escrow
+                if escrow is not None:
+                    engine = self.engine
+                    if escrow.synced_epoch != engine.epoch:
+                        # Non-transactional writes (sync broadcasts,
+                        # post-sync hooks, cleanup runs) moved values
+                        # under the counters; recompute before trusting
+                        # them.  The store already holds *this*
+                        # transaction's writes, so the recomputation
+                        # must read its before-images -- resyncing on
+                        # the post-state would charge the deltas twice.
+                        before_images = {
+                            name: before
+                            for name, before, _existed in txn.undo.entries
+                        }
+                        peek = engine.peek
+                        escrow.resync(
+                            lambda name: before_images[name]
+                            if name in before_images
+                            else peek(name),
+                            engine.epoch,
+                        )
+                    store_get = engine.store.get
+                    deltas = {
+                        name: store_get(name) - before
+                        for name, before, _existed in txn.undo.entries
+                    }
+                    viol_idx = escrow.commit(deltas)
+                    violated: set[str] | frozenset[str] = (
+                        escrow.violated_objects(viol_idx)
+                        if viol_idx is not None
+                        else frozenset()
+                    )
+                    if self.validate_escrow:
+                        oracle = self.local_treaty.violations_after_writes(
+                            getobj, txn.written
+                        )
+                        if set(violated) != oracle:
+                            raise EscrowDivergence(
+                                f"site {self.site_id}, {tx_name}: escrow says "
+                                f"{sorted(violated)}, compiled oracle says "
+                                f"{sorted(oracle)} (deltas {deltas})"
+                            )
+                else:
+                    violated = self.local_treaty.violations_after_writes(
+                        getobj, txn.written
+                    )
                 if violated:
                     attempted = frozenset(txn.written)
                     txn.abort()
@@ -310,6 +445,11 @@ class SiteServer:
             log = tuple(txn.log)
             written = set(txn.written)
             txn.commit()
+            # T' commits without a treaty check (the new treaty is
+            # installed right after), so the escrow counters never saw
+            # these writes: invalidate them like any non-transactional
+            # mutation.
+            self.engine.epoch += 1
             return log, written
         except BaseException:
             if txn.active:

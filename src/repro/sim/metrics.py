@@ -7,6 +7,15 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 
+def check_path_stats() -> dict[str, dict[str, int]]:
+    """Process-wide commit-check observability: compiled-closure memo
+    sizes and escrow lowering-cache hit/miss counters, in one place for
+    the nightly figure sweeps and the benchmark harness."""
+    from repro.logic.compile import compiled_counts, escrow_counts
+
+    return {"compiled": compiled_counts(), "escrow": escrow_counts()}
+
+
 def percentile(values: Sequence[float], pct: float) -> float:
     """Linear-interpolation percentile (pct in [0, 100])."""
     if not values:
@@ -115,6 +124,10 @@ class SimResult:
     measured_from_ms: float = 0.0
     measured_to_ms: float = 0.0
     num_replicas: int = 1
+    #: run-level escrow fast-path counters (from
+    #: ``HomeostasisCluster.escrow_stats``; empty for kernels without
+    #: the counter path, e.g. the 2PC baseline)
+    escrow: dict = field(default_factory=dict)
 
     # -- derived metrics --------------------------------------------------------
 

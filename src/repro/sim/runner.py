@@ -114,7 +114,19 @@ class SimConfig:
     rtt_ms: float = 100.0
     rtt_matrix: list[list[float]] | None = None
     cores_per_replica: int = 32
-    local_service_ms: float = 2.0
+    #: mean of the exponential *execution* service time (parse, locks,
+    #: undo journal, store writes) -- the commit-time treaty check is
+    #: priced separately below, by check mechanism
+    local_service_ms: float = 1.5
+    #: per-commit treaty-check cost when the kernel checks through the
+    #: compiled closure (the pre-escrow model's 2.0 ms mean service
+    #: was this plus ``local_service_ms``; kernels that do not report
+    #: a mechanism -- 2PC, stubs -- price at this too)
+    check_cost_ms: float = 0.5
+    #: per-commit check cost when the kernel reports the escrow
+    #: headroom counters engaged (the measured microbenchmark ratio,
+    #: ~15x, applied to the modeled compiled cost)
+    escrow_check_cost_ms: float = 0.03
     #: per-negotiation solver time (0 for OPT; grows with lookahead L)
     solver_ms: float = 0.0
     lock_timeout_ms: float = 1000.0
@@ -186,6 +198,35 @@ class _FaultSchedule:
                 raise ValueError(f"unknown fault action {event.action!r}")
 
 
+def _collect_escrow(result: SimResult, cluster) -> None:
+    """Fold the kernel's run-level escrow fast-path counters into the
+    result (kernels without the counter path -- local, 2PC -- report
+    nothing and the field stays empty)."""
+    stats = getattr(cluster, "escrow_stats", None)
+    if stats is not None:
+        result.escrow = stats()
+
+
+def _check_cost_ms(config: SimConfig, cluster) -> float:
+    """Per-commit treaty-check service component, priced once at run
+    start by the mechanism the kernel reports.
+
+    The local baseline enforces no treaty, so it pays nothing; kernels
+    that do not report a mechanism (2PC, test stubs) price at the
+    compiled-closure cost, which keeps their total mean service equal
+    to the pre-decomposition 2.0 ms model.  The constant is added to
+    every service draw *after* the exponential sample, so it consumes
+    no RNG draws -- the request sequence, and therefore the sync
+    ratio, are unchanged by which mechanism is engaged.
+    """
+    if config.mode == "local":
+        return 0.0
+    mechanism = getattr(cluster, "check_mechanism", None)
+    if mechanism is not None and mechanism() == "escrow":
+        return config.escrow_check_cost_ms
+    return config.check_cost_ms
+
+
 def simulate(
     config: SimConfig,
     cluster: SubmitTarget,
@@ -204,6 +245,7 @@ def simulate(
     # (2PC's ROWA cohort always does; scoped negotiations price their
     # own participant edges and only degrade to this worst case).
     sync_cost_ms = 2.0 * max_rtt(matrix)
+    check_ms = _check_cost_ms(config, cluster)
 
     result = SimResult(
         mode=config.mode,
@@ -253,7 +295,7 @@ def simulate(
         now = ready
         faults.apply_due(now, result)
         request = request_fn(rng, replica)
-        service = rng.expovariate(1.0 / config.local_service_ms)
+        service = rng.expovariate(1.0 / config.local_service_ms) + check_ms
 
         if config.mode in ("homeo", "opt"):
             end, record = _run_protected(
@@ -289,6 +331,7 @@ def simulate(
     # Transaction-count-bounded runs can finish before the nominal
     # warmup window; keep the warmup at 10% of the run in that case.
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
+    _collect_escrow(result, cluster)
     return result
 
 
@@ -339,6 +382,7 @@ def _simulate_windows(
       times, never from another group's negotiation end.
     """
     solver = config.solver_ms if config.mode == "homeo" else 0.0
+    check_ms = _check_cost_ms(config, cluster)
     now = 0.0
     while clients and result.committed < config.max_txns:
         if clients[0][0] >= config.duration_ms:
@@ -361,7 +405,7 @@ def _simulate_windows(
             ready, client, replica = heapq.heappop(clients)
             now = ready
             request = request_fn(rng, replica)
-            service = rng.expovariate(1.0 / config.local_service_ms)
+            service = rng.expovariate(1.0 / config.local_service_ms) + check_ms
             keys = [(replica, k) for k in request.lock_keys]
             start_exec, local_end = _local_attempt(
                 cores, lock_free, replica, ready, service, keys
@@ -422,7 +466,9 @@ def _simulate_windows(
                 # negotiation gates either).
                 for li in grp.losers:
                     entry = entries[li]
-                    rerun_service = rng.expovariate(1.0 / config.local_service_ms)
+                    rerun_service = (
+                        rng.expovariate(1.0 / config.local_service_ms) + check_ms
+                    )
                     rerun_at = _acquire_core(cores, entry.replica, neg_end)
                     rerun_end = rerun_at + rerun_service
                     _release_core(cores, entry.replica, rerun_end)
@@ -469,6 +515,7 @@ def _simulate_windows(
 
     result.measured_to_ms = now
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
+    _collect_escrow(result, cluster)
     return result
 
 

@@ -87,6 +87,11 @@ class LocalEngine:
     locks: LockManager = field(default_factory=LockManager)
     #: per-object committed-write counters since the last checkpoint
     dirty_counts: dict[str, int] = field(default_factory=dict)
+    #: bumped by every write that bypasses the transactional commit
+    #: path (``poke``/``poke_dirty``, cleanup transactions): consumers
+    #: holding incremental views of the store -- the escrow headroom
+    #: counters -- compare against it and resynchronize when it moves
+    epoch: int = 0
     committed: int = 0
     aborted: int = 0
     _ids: "itertools.count[int]" = field(default_factory=itertools.count)
@@ -101,6 +106,7 @@ class LocalEngine:
 
     def poke(self, name: str, value: int) -> None:
         self.store.put(name, value)
+        self.epoch += 1
 
     def poke_dirty(self, name: str, value: int) -> None:
         """Non-transactional write that still marks the object dirty.
@@ -112,6 +118,7 @@ class LocalEngine:
         """
         self.store.put(name, value)
         self.dirty_counts[name] = self.dirty_counts.get(name, 0) + 1
+        self.epoch += 1
 
     def dirty_objects(self) -> set[str]:
         """Objects committed-to since the last checkpoint."""

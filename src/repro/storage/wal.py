@@ -171,6 +171,14 @@ def encode_local_treaty(treaty: "LocalTreaty", headroom: dict | None = None) -> 
     Local-treaty clauses range over ground database objects only
     (``ObjT`` leaves), so ``(object name, coefficient)`` pairs plus
     the normalized ``(op, bound)`` reconstruct each clause exactly.
+
+    The per-clause ``headroom`` grants serve two recovery consumers:
+    the adaptive low-watermark restores them verbatim (slack consumed
+    before the crash must stay consumed), and the escrow fast path
+    rebuilds its counter account from them before resynchronizing the
+    live counters against the durable store (post-install consumption
+    is derivable from the data, so the recovered counters equal a
+    freshly lowered treaty's).
     """
     headroom = headroom or {}
     clauses = []

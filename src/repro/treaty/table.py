@@ -35,6 +35,7 @@ class LocalTreaty:
     constraints: list[LinearConstraint] = field(default_factory=list)
     _by_object: dict[str, list[tuple[LinearConstraint, ClauseCheck]]] | None = None
     _compiled: ClauseCheck | None = None
+    _clause_checks_cache: list[tuple[LinearConstraint, ClauseCheck]] | None = None
 
     def compiled_check(self) -> ClauseCheck:
         """The whole-treaty check as one compiled closure (the
@@ -46,11 +47,20 @@ class LocalTreaty:
     def holds(self, getobj: Callable[[str], int]) -> bool:
         return self.compiled_check()(getobj)
 
+    def _clause_checks(self) -> list[tuple[LinearConstraint, ClauseCheck]]:
+        """Per-clause compiled checks, in clause order, built once per
+        treaty (:meth:`violated_clauses` and the per-object index both
+        read from here instead of re-entering ``compile_clause``)."""
+        if self._clause_checks_cache is None:
+            self._clause_checks_cache = [
+                (con, compile_clause(con)) for con in self.constraints
+            ]
+        return self._clause_checks_cache
+
     def _object_index(self) -> dict[str, list[tuple[LinearConstraint, ClauseCheck]]]:
         if self._by_object is None:
             index: dict[str, list[tuple[LinearConstraint, ClauseCheck]]] = {}
-            for con in self.constraints:
-                check = compile_clause(con)
+            for con, check in self._clause_checks():
                 for var in con.variables():
                     assert isinstance(var, ObjT)
                     index.setdefault(var.name, []).append((con, check))
@@ -95,7 +105,7 @@ class LocalTreaty:
 
     def violated_clauses(self, getobj: Callable[[str], int]) -> list[LinearConstraint]:
         return [
-            con for con in self.constraints if not compile_clause(con)(getobj)
+            con for con, check in self._clause_checks() if not check(getobj)
         ]
 
     def objects(self) -> set[str]:

@@ -238,6 +238,46 @@ class TestClusterFaults:
         req = workload.next_request(rng, site=0)
         cluster.submit(req.tx_name, req.params)
 
+    def test_recovered_escrow_counters_match_fresh_lowering(self):
+        """WAL replay plus the store resync must leave the recovered
+        site's escrow counters identical to lowering its treaty
+        freshly on the recovered state -- headroom consumed before the
+        crash lives in the durable store, never in the (volatile)
+        account."""
+        from repro.logic.compile import lower_to_escrow
+        from repro.protocol.site import clause_slack
+
+        workload, cluster = _micro_cluster()
+        rng = random.Random(3)
+        for _ in range(150):
+            req = workload.next_request(rng, site=rng.randrange(3))
+            cluster.submit(req.tx_name, req.params)
+        cluster.crash_site(1)
+        assert cluster.sites[1].escrow is None  # dropped with the crash
+        for _ in range(100):
+            req = workload.next_request(rng, site=rng.randrange(3))
+            try:
+                cluster.submit(req.tx_name, req.params)
+            except Unavailable:
+                pass
+        cluster.recover_site(1)
+        server = cluster.sites[1]
+        assert server.escrow is not None
+        server.escrow.settle()
+        program = server.escrow.program
+        # Same (memoized) lowering as a fresh install of the replayed
+        # treaty, and exactly the slack a fresh lowering would grant.
+        assert program is lower_to_escrow(tuple(server.local_treaty.constraints))
+        assert server.escrow.headroom == [
+            clause_slack(row, server.engine.peek) for row in program.rows
+        ]
+        # (The engine epoch may have moved again during the rejoin
+        # synchronization; the lazy per-commit resync covers that.)
+        # The recovered account keeps enforcing (validate mode runs
+        # the compiled oracle next to it).
+        req = workload.next_request(rng, site=1)
+        cluster.submit(req.tx_name, req.params)
+
     def test_both_sides_of_a_partition_keep_committing_locally(self):
         """A network partition (severed edges, no crash: every site is
         alive) lets *both* sides keep committing non-violating

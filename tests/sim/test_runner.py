@@ -320,6 +320,17 @@ class TestExperimentRunners:
         assert res.mode == "homeo"
         assert res.latency_stats().count > 0
 
+    def test_run_micro_reports_escrow_stats(self):
+        """A homeostasis run folds the kernel's escrow fast-path
+        counters into the result; the local baseline has no treaty
+        kernel and reports nothing."""
+        res = run_micro("homeo", max_txns=400, num_items=40)
+        assert res.escrow["installs"] > 0
+        assert res.escrow["eligible_ratio"] > 0.0
+        assert res.escrow["sites_on_escrow"] > 0
+        assert res.escrow["fast_commits"] + res.escrow["settled_commits"] > 0
+        assert run_micro("local", max_txns=200, num_items=40).escrow == {}
+
     def test_run_micro_modes_ordering(self):
         """The headline result at smoke scale: local >= homeo >> 2pc."""
         local = run_micro("local", max_txns=800, num_items=40)

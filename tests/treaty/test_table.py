@@ -54,6 +54,34 @@ class TestLocalTreaty:
         violated = treaty.violated_clauses(lambda n: {"a": 9, "b": 0}.get(n, 0))
         assert len(violated) == 1
 
+    def test_violated_clauses_reuses_cached_per_clause_checks(self):
+        """Repeated calls must not recompile: the per-clause closures
+        are built once and shared with the per-object index."""
+        import repro.logic.compile as compile_mod
+
+        treaty = LocalTreaty(
+            site=0,
+            constraints=[
+                LinearConstraint.make(LinearExpr.variable(ObjT("a")), "<=", 5),
+                LinearConstraint.make(LinearExpr.variable(ObjT("b")), "<=", 9),
+            ],
+        )
+        treaty.violated_clauses(lambda n: 0)
+        cache = treaty._clause_checks_cache
+        assert cache is not None
+        before = compile_mod.compiled_counts()
+        for _ in range(5):
+            treaty.violated_clauses(lambda n: 0)
+        assert treaty._clause_checks_cache is cache
+        # No new clause entered the compiler: every call served from
+        # the treaty-local cache, not even a memo-table hit.
+        assert compile_mod.compiled_counts() == before
+        # The per-object index shares the same compiled closures.
+        checks = {id(con): chk for con, chk in cache}
+        for entries in treaty._object_index().values():
+            for con, chk in entries:
+                assert checks[id(con)] is chk
+
     def test_objects_enumeration(self):
         treaty = LocalTreaty(
             site=0,
