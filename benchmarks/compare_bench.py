@@ -36,7 +36,16 @@ Gates (per scenario):
   baseline on the ``micro`` and ``adaptive_skew`` scenarios: a
   lowering change that silently sends real treaties back to the
   compiled slow path should fail loudly, not vanish into a
-  throughput wobble.
+  throughput wobble;
+- ``free_ratio`` (classifier-FREE commit-check bypasses per treaty
+  execution, deterministic) must not drop below the baseline on the
+  ``micro`` scenario, whose mix carries read-only ``Audit`` probes
+  the coordination-freedom classifier must keep proving FREE;
+- the TPC-C ``checks_per_commit`` (mean treaty clauses in scope per
+  commit, recorded in the adaptive_skew scenario's gate block) must
+  not rise above the baseline: a path-sensitivity regression that
+  sends partitioned checks back to whole-treaty evaluation should
+  fail loudly.
 
 ``wall_time_s`` and absolute check rates are host-dependent and only
 reported, never gated.  Exit status is non-zero iff any gate fails,
@@ -65,7 +74,7 @@ def _load(path: Path) -> dict:
     with path.open() as fh:
         record = json.load(fh)
     version = record.get("schema_version")
-    if version != 2:
+    if version != 3:
         raise SystemExit(f"{path}: unsupported schema_version {version!r}")
     return record
 
@@ -75,6 +84,16 @@ def _load(path: Path) -> dict:
 #: commit load; the fault scenario crashes accounts mid-run and the
 #: geo/contention scenarios are covered transitively by the lowering)
 ESCROW_ELIGIBILITY_SCENARIOS = ("micro", "adaptive_skew")
+
+#: scenarios whose classifier-FREE bypass ratio is gated against the
+#: baseline (the micro mix carries read-only Audit probes the
+#: classifier must keep proving FREE)
+CLASSIFIER_FREE_SCENARIOS = ("micro",)
+
+#: adaptive_gate workloads whose per-commit clauses-in-scope count is
+#: gated against the baseline (TPC-C is where path-sensitive partition
+#: checks shrink the scope; micro's two-path Buy has nothing to shrink)
+CHECKS_PER_COMMIT_WORKLOADS = ("tpcc",)
 
 
 def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[str]:
@@ -120,8 +139,44 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
                 f"{cur_elig:.4f} (treaties falling back to the compiled path)"
             )
 
+    if name in CLASSIFIER_FREE_SCENARIOS:
+        base_free = baseline.get("free_ratio", 0.0)
+        cur_free = current.get("free_ratio", 0.0)
+        if cur_free < base_free:
+            failures.append(
+                f"{name}: classifier FREE ratio dropped {base_free:.4f} -> "
+                f"{cur_free:.4f} (FREE paths falling back to treaty checks)"
+            )
+
+    failures.extend(checks_per_commit_failures(name, baseline, current))
     failures.extend(adaptive_gate_failures(name, current))
     failures.extend(fault_gate_failures(name, current))
+    return failures
+
+
+def checks_per_commit_failures(
+    name: str, baseline: dict, current: dict
+) -> list[str]:
+    """The path-sensitivity gate: mean treaty clauses in scope per
+    commit must not rise above the baseline on the gated workloads of
+    a record's ``adaptive_gate`` block (empty for scenarios without
+    one).  Both numbers are deterministic under the fixed seed."""
+    base_gate = baseline.get("adaptive_gate") or {}
+    cur_gate = current.get("adaptive_gate") or {}
+    failures: list[str] = []
+    for workload in CHECKS_PER_COMMIT_WORKLOADS:
+        base_point = base_gate.get(workload)
+        cur_point = cur_gate.get(workload)
+        if not isinstance(base_point, dict) or not isinstance(cur_point, dict):
+            continue
+        base_cpc = base_point.get("checks_per_commit", 0.0)
+        cur_cpc = cur_point.get("checks_per_commit", 0.0)
+        if cur_cpc > base_cpc:
+            failures.append(
+                f"{name}/{workload}: checks per commit rose {base_cpc:.2f} -> "
+                f"{cur_cpc:.2f} (partitioned checks widening back to the "
+                f"whole treaty)"
+            )
     return failures
 
 
@@ -230,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             f"check speedup {current['check_microbench']['speedup']:.2f}x, "
             f"escrow {current['check_microbench']['escrow_speedup']:.2f}x "
             f"(eligible {current.get('escrow_eligible_ratio', 0.0):.2f}), "
+            f"free ratio {current.get('free_ratio', 0.0):.2f}, "
             f"wall {current['wall_time_s']:.2f}s (baseline "
             f"{baseline['wall_time_s']:.2f}s, not gated)"
         )
@@ -241,7 +297,9 @@ def main(argv: list[str] | None = None) -> int:
                         f"    adaptive_gate {workload}: adaptive "
                         f"{point['adaptive_sync_ratio']:.4f} vs static "
                         f"{point['static_sync_ratio']:.4f} (rebalance ratio "
-                        f"{point['adaptive_rebalance_ratio']:.4f})"
+                        f"{point['adaptive_rebalance_ratio']:.4f}, "
+                        f"checks/commit "
+                        f"{point.get('checks_per_commit', 0.0):.2f})"
                     )
         fgate = current.get("fault_gate")
         if fgate:

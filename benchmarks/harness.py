@@ -23,10 +23,10 @@ and writes one ``BENCH_<scenario>.json`` per scenario with the stable
 schema below.  ``compare_bench.py`` diffs a run against the committed
 baselines and fails on regressions; CI runs both on every push.
 
-Schema (``schema_version`` 2)::
+Schema (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "scenario": str,            # harness scenario name
       "mode": str,                # kernel mode the scenario ran
       "txns": int,                # committed transactions
@@ -46,6 +46,15 @@ Schema (``schema_version`` 2)::
         "fast_commits": int,      # admitted by the window guard alone
         "settled_commits": int,   # judged on exact counters
         "settlements": int, "violations": int, "resyncs": int
+      },
+      # static-tier (coordination-freedom classifier + path-sensitive
+      # partition) counters, deterministic under the fixed seed
+      "free_ratio": float,        # check bypasses / treaty executions
+      "checks_per_commit": float, # mean treaty clauses in scope
+      "classifier": {
+        "free": int, "absorbed": int, "partition": int, "full": int,
+        "checked": int, "clauses_in_scope": int,
+        "free_ratio": float, "checks_per_commit": float
       },
       "check_microbench": {
         "clauses": int,
@@ -68,7 +77,9 @@ Schema (``schema_version`` 2)::
           "adaptive_sync_ratio": float,   # deterministic
           "static_sync_ratio": float,     # deterministic
           "adaptive_rebalance_ratio": float,
-          "adaptive_rebalances": int
+          "adaptive_rebalances": int,
+          "free_ratio": float,            # static-tier bypasses
+          "checks_per_commit": float      # TPC-C row gates this
         }
       },
       # faults only: the availability-under-crash comparison, gated by
@@ -118,7 +129,7 @@ from repro.sim.experiments import (  # noqa: E402
 from repro.treaty.escrow import EscrowAccount  # noqa: E402
 from repro.workloads.micro import MicroWorkload  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: iterations of the treaty-check microbenchmark (per implementation)
 CHECK_ITERATIONS = 20_000
@@ -203,7 +214,12 @@ def _check_microbench(iterations: int = CHECK_ITERATIONS) -> dict:
 
 
 def _scenario_micro():
-    return run_micro("homeo", num_items=150, max_txns=2_000, seed=0)
+    # A quarter of the mix is read-only Audit probes: the traffic
+    # class the coordination-freedom classifier proves FREE, so the
+    # scenario exercises (and its baseline gates) the static tier.
+    return run_micro(
+        "homeo", num_items=150, max_txns=2_000, seed=0, audit_fraction=0.25
+    )
 
 
 def _scenario_geo_pricing():
@@ -252,6 +268,12 @@ def _scenario_adaptive_skew():
             "static_sync_ratio": round(static.sync_ratio, 5),
             "adaptive_rebalance_ratio": round(adaptive.rebalance_ratio, 5),
             "adaptive_rebalances": adaptive.rebalances,
+            # static-tier yield on this workload (the TPC-C row backs
+            # the compare_bench checks-per-commit gate)
+            "free_ratio": adaptive.classifier.get("free_ratio", 0.0),
+            "checks_per_commit": adaptive.classifier.get(
+                "checks_per_commit", 0.0
+            ),
         }
         if workload == "micro":
             main_result = adaptive
@@ -341,6 +363,9 @@ def run_scenario(name: str, check_microbench: dict | None = None) -> dict:
         "p99_ms": round(stats.p99, 3),
         "escrow": dict(result.escrow),
         "escrow_eligible_ratio": result.escrow.get("eligible_ratio", 0.0),
+        "classifier": dict(result.classifier),
+        "free_ratio": result.classifier.get("free_ratio", 0.0),
+        "checks_per_commit": result.classifier.get("checks_per_commit", 0.0),
         "check_microbench": check_microbench or _check_microbench(),
     }
     record.update(extras)

@@ -8,6 +8,11 @@
   factorization keeping joint tables small (Section 5.1).
 - :mod:`repro.analysis.slices` -- local-remote partitions, LR-slices
   and observational equivalence (Definitions 3.2-3.7).
+- :mod:`repro.analysis.pathsplit` -- per-path write summaries and
+  treaty-check partitioning (the dispatch-time static tier).
+- :mod:`repro.analysis.classify` -- the coordination-freedom
+  classifier: FREE / PATH_SENSITIVE / TREATY / SYNC verdicts with
+  machine-checkable witnesses.
 """
 
 from repro.analysis.symbolic import (
@@ -18,6 +23,13 @@ from repro.analysis.symbolic import (
 )
 from repro.analysis.joint import JointRow, JointSymbolicTable, build_joint_table
 from repro.analysis.factorize import FactorizedJointTable, factorize_workload
+from repro.analysis.classify import (
+    Classification,
+    ClassificationError,
+    PathClassification,
+    classify_catalog,
+)
+from repro.analysis.pathsplit import PathCheck, WriteSummary, build_path_checks
 from repro.analysis.slices import (
     LocalRemotePartition,
     is_lr_slice,
@@ -27,14 +39,21 @@ from repro.analysis.slices import (
 
 __all__ = [
     "AnalysisError",
+    "Classification",
+    "ClassificationError",
     "FactorizedJointTable",
     "JointRow",
     "JointSymbolicTable",
     "LocalRemotePartition",
+    "PathCheck",
+    "PathClassification",
     "Row",
     "SymbolicTable",
+    "WriteSummary",
     "build_joint_table",
+    "build_path_checks",
     "build_symbolic_table",
+    "classify_catalog",
     "factorize_workload",
     "is_lr_slice",
     "is_valid_global_treaty",

@@ -37,6 +37,7 @@ from repro.lang.ast import (
     Com,
     GroundRef,
     If,
+    ObjRef,
     Print,
     Seq,
     Skip,
@@ -137,7 +138,7 @@ def _term_bases(term: Term) -> set[str]:
     return bases
 
 
-def _write_base(ref) -> str:
+def _write_base(ref: ObjRef) -> str:
     from repro.logic.terms import parse_ground_name
 
     if isinstance(ref, ArrayRef):

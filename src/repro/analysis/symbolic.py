@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.lang.ast import (
     Assign,
@@ -91,7 +91,7 @@ class SymbolicTable:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
 
     def lookup(

@@ -42,7 +42,7 @@ objects).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
 
 from repro.logic.formula import And, BoolConst, Cmp, Formula, Not, Or
 from repro.logic.linear import LinearConstraint
@@ -93,7 +93,11 @@ _clause_cache: dict[LinearConstraint, ClauseCheck] = {}
 _conjunction_cache: dict[tuple[LinearConstraint, ...], ClauseCheck] = {}
 
 
-def _remember(cache: dict, key, value):
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+
+def _remember(cache: dict[_K, _V], key: _K, value: _V) -> _V:
     if len(cache) >= _CACHE_LIMIT:
         cache.clear()
     cache[key] = value
@@ -331,10 +335,11 @@ def _clause_source(con: LinearConstraint) -> str:
     return f"({total}) {_PY_OP[con.op]} {con.bound}"
 
 
-def _make(source: str, args: str) -> Callable:
+def _make(source: str, args: str) -> Callable[..., Any]:
     """Build one closure from generated expression source."""
     code = compile(f"lambda {args}: {source}", "<treaty-check>", "eval")
-    return eval(code, {"_gn": ground_name})
+    closure: Callable[..., Any] = eval(code, {"_gn": ground_name})
+    return closure
 
 
 # -- public API ------------------------------------------------------------
@@ -364,7 +369,11 @@ def compile_formula(formula: Formula) -> FormulaCheck:
         check: FormulaCheck = formula.evaluate
     else:
 
-        def check(getobj, params=None, temps=None) -> bool:
+        def check(
+            getobj: Callable[[str], int],
+            params: Mapping[str, int] | None = None,
+            temps: Mapping[str, int] | None = None,
+        ) -> bool:
             return raw(
                 getobj,
                 _EMPTY if params is None else params,
@@ -404,7 +413,10 @@ def compile_clauses(constraints: Iterable[LinearConstraint]) -> ClauseCheck:
             for i in range(0, len(cons), _CHUNK)
         )
 
-        def check(g, _chunks=chunks) -> bool:
+        def check(
+            g: Callable[[str], int],
+            _chunks: tuple[Callable[..., Any], ...] = chunks,
+        ) -> bool:
             return all(part(g) for part in _chunks)
 
     return _remember(_conjunction_cache, cons, check)

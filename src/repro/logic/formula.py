@@ -142,7 +142,12 @@ class BoolConst(Formula):
     def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return self
 
-    def evaluate(self, getobj, params=None, temps=None) -> bool:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> bool:
         return self.value
 
     def to_nnf(self, negate: bool = False) -> Formula:
@@ -171,7 +176,12 @@ class Cmp(Formula):
     def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Cmp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
 
-    def evaluate(self, getobj, params=None, temps=None) -> bool:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> bool:
         lhs = self.left.evaluate(getobj, params, temps)
         rhs = self.right.evaluate(getobj, params, temps)
         return _OPS[self.op](lhs, rhs)
@@ -202,7 +212,12 @@ class And(Formula):
     def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return And(tuple(f.substitute(mapping) for f in self.operands))
 
-    def evaluate(self, getobj, params=None, temps=None) -> bool:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> bool:
         return all(f.evaluate(getobj, params, temps) for f in self.operands)
 
     def to_nnf(self, negate: bool = False) -> Formula:
@@ -227,7 +242,12 @@ class Or(Formula):
     def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Or(tuple(f.substitute(mapping) for f in self.operands))
 
-    def evaluate(self, getobj, params=None, temps=None) -> bool:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> bool:
         return any(f.evaluate(getobj, params, temps) for f in self.operands)
 
     def to_nnf(self, negate: bool = False) -> Formula:
@@ -252,7 +272,12 @@ class Not(Formula):
     def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Not(self.operand.substitute(mapping))
 
-    def evaluate(self, getobj, params=None, temps=None) -> bool:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> bool:
         return not self.operand.evaluate(getobj, params, temps)
 
     def to_nnf(self, negate: bool = False) -> Formula:

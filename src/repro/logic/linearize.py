@@ -94,7 +94,9 @@ def linearize_for_treaty(
     return result
 
 
-def _linearize_part(part: Formula, getobj, result: LinearizedTreaty) -> None:
+def _linearize_part(
+    part: Formula, getobj: Callable[[str], int], result: LinearizedTreaty
+) -> None:
     if isinstance(part, BoolConst):
         if not part.value:
             raise ValueError("false conjunct in a formula that holds on D")
@@ -124,7 +126,9 @@ def _require_ground_objects(con: LinearConstraint) -> None:
             )
 
 
-def _pin_subformula(part: Formula, getobj, result: LinearizedTreaty) -> None:
+def _pin_subformula(
+    part: Formula, getobj: Callable[[str], int], result: LinearizedTreaty
+) -> None:
     if not part.evaluate(getobj):
         raise ValueError(
             f"subformula {part.pretty()} is false on the current database"

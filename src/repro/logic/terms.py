@@ -162,7 +162,12 @@ class Const(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return self
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         return self.value
 
     def pretty(self) -> str:
@@ -178,7 +183,12 @@ class ObjT(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         return getobj(self.name)
 
     def pretty(self) -> str:
@@ -221,7 +231,12 @@ class IndexedObjT(Term):
             values.append(ix.value)
         return ObjT(ground_name(self.base, tuple(values)))
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         indices = tuple(ix.evaluate(getobj, params, temps) for ix in self.index)
         return getobj(ground_name(self.base, indices))
 
@@ -238,7 +253,12 @@ class ParamT(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         if params is None or self.name not in params:
             raise KeyError(f"unbound parameter @{self.name}")
         return params[self.name]
@@ -256,7 +276,12 @@ class TempT(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         if temps is None or self.name not in temps:
             raise KeyError(f"unbound temporary {self.name}")
         return temps[self.name]
@@ -278,7 +303,12 @@ class Add(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return Add(self.left.substitute(mapping), self.right.substitute(mapping))
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         return self.left.evaluate(getobj, params, temps) + self.right.evaluate(
             getobj, params, temps
         )
@@ -300,7 +330,12 @@ class Mul(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return Mul(self.left.substitute(mapping), self.right.substitute(mapping))
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         return self.left.evaluate(getobj, params, temps) * self.right.evaluate(
             getobj, params, temps
         )
@@ -321,7 +356,12 @@ class Neg(Term):
     def substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return Neg(self.operand.substitute(mapping))
 
-    def evaluate(self, getobj, params=None, temps=None) -> int:
+    def evaluate(
+        self,
+        getobj: Callable[[str], int],
+        params: Mapping[str, int] | None = None,
+        temps: Mapping[str, int] | None = None,
+    ) -> int:
         return -self.operand.evaluate(getobj, params, temps)
 
     def pretty(self) -> str:

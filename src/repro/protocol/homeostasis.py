@@ -706,6 +706,11 @@ class HomeostasisCluster:
                         treaty=treaty,
                     )
                 )
+        for sid in sorted(participants):
+            # Observability mirror of each participant's static-tier
+            # partition (built inside install_treaty either way --
+            # direct install or shipped).
+            table.record_paths(sid, self.sites[sid].path_checks)
         if self.validate:
             # The global treaty is never weakened: every install --
             # violation cleanup, forced sync, or adaptive rebalance --
@@ -1180,6 +1185,45 @@ class HomeostasisCluster:
             **totals,
         }
 
+    def classifier_stats(self) -> dict:
+        """Cluster-wide static-tier (path-check) statistics.
+
+        ``free_ratio`` is the fraction of treaty-bearing executions
+        that bypassed the check entirely (``free`` + monotone-safe
+        ``absorbed`` paths); ``checks_per_commit`` is the mean number
+        of treaty clauses left in scope per execution -- the quantity
+        path-sensitivity shrinks and the benchmark gates.  Both are
+        deterministic under a fixed seed.
+        """
+        totals: dict[str, int] = {}
+        for server in self.sites.values():
+            for key, value in server.check_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        checked = totals.get("checked", 0)
+        bypassed = totals.get("free", 0) + totals.get("absorbed", 0)
+        return {
+            **totals,
+            "free_ratio": round(bypassed / checked, 5) if checked else 0.0,
+            "checks_per_commit": (
+                round(totals.get("clauses_in_scope", 0) / checked, 5)
+                if checked
+                else 0.0
+            ),
+        }
+
+    def free_transactions(self) -> frozenset[str]:
+        """Transactions whose *every* execution path at their home site
+        bypasses the treaty check under the currently installed
+        treaties (the classifier's FREE verdict).  The simulator reads
+        this once at run start to price such transactions at zero
+        check cost."""
+        out: set[str] = set()
+        for tx_name, home in self.tx_home.items():
+            checks = self.sites[home].path_checks.get(tx_name)
+            if checks and all(check.bypasses_check for check in checks):
+                out.add(tx_name)
+        return frozenset(out)
+
     def check_mechanism(self) -> str:
         """The commit-check mechanism this kernel is running on:
         ``"escrow"`` when every treaty-bearing site holds lowered
@@ -1242,6 +1286,7 @@ class HomeostasisCluster:
         server.local_treaty = None
         server.install_headroom = {}
         server.treaty_round = -1
+        server.path_checks = {}
         server.drop_escrow()
 
     def recover_site(self, sid: int) -> tuple[int, ...]:

@@ -13,13 +13,21 @@ the stored procedure whose guard matches, run it inside a storage
 transaction, check the local treaty before commit, and either commit
 (returning the log) or abort and report the treaty violation.
 
-The treaty check itself has two tiers.  Treaties whose clauses are
-all linear ``<=``-bounds are lowered at install time into **escrow
-headroom counters** (:mod:`repro.treaty.escrow`): the commit check
-becomes counter subtractions driven by the undo journal's write
-deltas, with batched window settlement.  Everything else -- and every
-commit in ``validate_escrow`` mode, which runs both tiers and asserts
-agreement -- goes through the compiled-closure check
+The treaty check itself is tiered.  A **static tier** runs first: at
+install time the site partitions every stored procedure's execution
+paths against the new treaty (:mod:`repro.analysis.pathsplit`), so a
+commit on a path whose writes provably cannot move any clause
+(``free`` / ``free-absorb``) skips the check -- and the write-delta
+computation -- outright, and a path with a statically known ground
+write set (``partition``) checks one precompiled clause subset.
+Everything else lands on the dynamic tiers: treaties whose clauses
+are all linear ``<=``-bounds are lowered at install time into
+**escrow headroom counters** (:mod:`repro.treaty.escrow`): the commit
+check becomes counter subtractions driven by the undo journal's write
+deltas, with batched window settlement.  The rest -- and every commit
+in ``validate_escrow`` mode, which runs the bypassed tiers next to
+the full check and asserts agreement -- goes through the
+compiled-closure check
 (:meth:`~repro.treaty.table.LocalTreaty.violations_after_writes`).
 
 Treaty installs are **durable**: every install (and every rebalance
@@ -37,6 +45,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.analysis.classify import PathCheckDivergence
+from repro.analysis.pathsplit import PathCheck, build_path_checks
 from repro.lang.interp import ExecContext, execute
 from repro.logic.compile import lower_to_escrow
 from repro.logic.linear import LinearConstraint
@@ -52,9 +62,33 @@ from repro.protocol.messages import (
     VoteReply,
 )
 from repro.storage.engine import LocalEngine
-from repro.storage.wal import TreatyWAL, decode_local_treaty, encode_local_treaty
+from repro.storage.wal import (
+    TreatyWAL,
+    decode_local_treaty,
+    decode_recorded_paths,
+    encode_local_treaty,
+)
 from repro.treaty.escrow import EscrowAccount, EscrowDivergence
 from repro.treaty.table import LocalTreaty
+
+#: static-tier check kinds -> their counter names in ``check_stats``
+_KIND_COUNTER = {
+    "free": "free",
+    "free-absorb": "absorbed",
+    "partition": "partition",
+    "full": "full",
+}
+
+
+def _fresh_check_stats() -> dict[str, int]:
+    return {
+        "free": 0,
+        "absorbed": 0,
+        "partition": 0,
+        "full": 0,
+        "checked": 0,
+        "clauses_in_scope": 0,
+    }
 
 
 def clause_slack(con: LinearConstraint, getobj: Callable[[str], int]) -> int:
@@ -120,6 +154,13 @@ class SiteServer:
     #: to the compiled path (the eligibility ratio the benchmark gates)
     escrow_installs: int = 0
     escrow_ineligible_installs: int = 0
+    #: per-(tx, path) treaty-check partition of the installed treaty
+    #: (the static tier; rebuilt on every install, cleared on crash)
+    path_checks: dict[str, tuple[PathCheck, ...]] = field(default_factory=dict)
+    #: static-tier accounting: which check kind each treaty-bearing
+    #: execution landed on, plus the number of treaty clauses left in
+    #: scope for it (what the checks-per-commit benchmark gate reads)
+    check_stats: dict[str, int] = field(default_factory=_fresh_check_stats)
 
     def install_treaty(
         self, treaty: LocalTreaty, round_number: int = -1, log: bool = True
@@ -145,13 +186,19 @@ class SiteServer:
             for con in treaty.constraints
             if con.op == "<="
         }
+        # The static tier: partition every registered procedure's
+        # execution paths against the new clauses.  Deterministic given
+        # (catalog, treaty), so the WAL record doubles as a recovery
+        # cross-check.
+        paths = build_path_checks(self.catalog, treaty)
         if log:
             record = {"kind": "treaty_install", "round": round_number}
-            record.update(encode_local_treaty(treaty, headroom))
+            record.update(encode_local_treaty(treaty, headroom, paths))
             self.wal.append(record)
         self.local_treaty = treaty
         self.install_headroom = headroom
         self.treaty_round = round_number
+        self.path_checks = paths
         self._rebuild_escrow(headroom)
 
     def replay_wal(self) -> int:
@@ -169,10 +216,24 @@ class SiteServer:
             self.local_treaty = None
             self.install_headroom = {}
             self.treaty_round = -1
+            self.path_checks = {}
             self.drop_escrow()
             return -1
         treaty, headroom = decode_local_treaty(record)
         self.local_treaty = treaty
+        # The path partition is re-derived, not restored: it is a pure
+        # function of (catalog, treaty), and re-deriving keeps it
+        # consistent with the code actually running after a restart.
+        # Validate mode cross-checks the re-derivation against what was
+        # recorded at install time.
+        self.path_checks = build_path_checks(self.catalog, treaty)
+        if self.validate_escrow:
+            recorded = decode_recorded_paths(record)
+            if recorded is not None and recorded != self.path_checks:
+                raise PathCheckDivergence(
+                    f"site {self.site_id}: replayed path partition does not "
+                    "match the install-time record"
+                )
         # The recorded snapshot, not a recomputation: slack already
         # consumed before the crash must stay consumed, or the adaptive
         # low-watermark would silently reset at every recovery.
@@ -262,8 +323,37 @@ class SiteServer:
             proc.run(ctx)
             self._assert_writes_local(txn.written, tx_name)
             if self.local_treaty is not None:
+                treaty = self.local_treaty
+                check = self._path_check(tx_name, proc.row_index)
+                kind = check.kind if check is not None else "full"
+                stats = self.check_stats
+                stats["checked"] += 1
+                stats[_KIND_COUNTER[kind]] += 1
+                if kind == "partition":
+                    assert check is not None
+                    stats["clauses_in_scope"] += len(check.clause_indices)
+                elif kind == "full":
+                    stats["clauses_in_scope"] += len(treaty.constraints)
                 escrow = self.escrow
-                if escrow is not None:
+                if kind == "free":
+                    # The path's writes touch no base any clause
+                    # mentions: under H2 the treaty still holds, and
+                    # the escrow counters (if any) would not have
+                    # staged these deltas either (max_coeff == 0), so
+                    # the delta computation is skipped along with the
+                    # check.
+                    violated: set[str] | frozenset[str] = frozenset()
+                    if self.validate_escrow:
+                        oracle = treaty.violations_after_writes(
+                            getobj, txn.written
+                        )
+                        if oracle:
+                            raise PathCheckDivergence(
+                                f"site {self.site_id}, {tx_name} path "
+                                f"{proc.row_index}: FREE bypass but full "
+                                f"check violates {sorted(oracle)}"
+                            )
+                elif escrow is not None:
                     engine = self.engine
                     if escrow.synced_epoch != engine.epoch:
                         # Non-transactional writes (sync broadcasts,
@@ -290,13 +380,21 @@ class SiteServer:
                         for name, before, _existed in txn.undo.entries
                     }
                     viol_idx = escrow.commit(deltas)
-                    violated: set[str] | frozenset[str] = (
+                    violated = (
                         escrow.violated_objects(viol_idx)
                         if viol_idx is not None
                         else frozenset()
                     )
+                    if kind == "free-absorb" and viol_idx is not None:
+                        # Monotone-safe deltas cannot consume slack;
+                        # the account must have absorbed them.
+                        raise PathCheckDivergence(
+                            f"site {self.site_id}, {tx_name} path "
+                            f"{proc.row_index}: monotone-safe path "
+                            f"rejected by escrow ({sorted(violated)})"
+                        )
                     if self.validate_escrow:
-                        oracle = self.local_treaty.violations_after_writes(
+                        oracle = treaty.violations_after_writes(
                             getobj, txn.written
                         )
                         if set(violated) != oracle:
@@ -305,8 +403,42 @@ class SiteServer:
                                 f"{sorted(violated)}, compiled oracle says "
                                 f"{sorted(oracle)} (deltas {deltas})"
                             )
+                elif kind == "free-absorb":
+                    # Compiled mode: the verdict is static (every
+                    # write moves its clauses away from their bounds),
+                    # so the judgment is skipped outright.
+                    violated = frozenset()
+                    if self.validate_escrow:
+                        oracle = treaty.violations_after_writes(
+                            getobj, txn.written
+                        )
+                        if oracle:
+                            raise PathCheckDivergence(
+                                f"site {self.site_id}, {tx_name} path "
+                                f"{proc.row_index}: monotone-safe bypass "
+                                f"but full check violates {sorted(oracle)}"
+                            )
+                elif kind == "partition":
+                    assert check is not None
+                    subset_ok = treaty.subset_check(check.clause_indices)(getobj)
+                    violated = (
+                        frozenset()
+                        if subset_ok
+                        else treaty.violations_after_writes(getobj, txn.written)
+                    )
+                    if self.validate_escrow:
+                        oracle = treaty.violations_after_writes(
+                            getobj, txn.written
+                        )
+                        if subset_ok != (not oracle):
+                            raise PathCheckDivergence(
+                                f"site {self.site_id}, {tx_name} path "
+                                f"{proc.row_index}: subset check says "
+                                f"{'ok' if subset_ok else 'violated'}, full "
+                                f"check says {sorted(oracle)}"
+                            )
                 else:
-                    violated = self.local_treaty.violations_after_writes(
+                    violated = treaty.violations_after_writes(
                         getobj, txn.written
                     )
                 if violated:
@@ -333,6 +465,18 @@ class SiteServer:
             if txn.active:
                 txn.abort()
             raise
+
+    def _path_check(self, tx_name: str, row_index: int | None) -> PathCheck | None:
+        """The installed static-tier check for one dispatched path
+        (None when the procedure was registered after the install --
+        the caller falls back to the full dynamic check)."""
+        checks = self.path_checks.get(tx_name)
+        if checks is None or row_index is None:
+            return None
+        for check in checks:
+            if check.row_index == row_index:
+                return check
+        return None
 
     def _assert_writes_local(self, written: set[str], tx_name: str) -> None:
         foreign = sorted(name for name in written if not self.owns(name))

@@ -68,9 +68,15 @@ def run_micro(
     cost_factor: int = 3,
     max_txns: int = 8_000,
     seed: int = 0,
+    audit_fraction: float = 0.0,
     config_overrides: dict | None = None,
 ) -> SimResult:
-    """One microbenchmark point (Section 6.1 defaults scaled down)."""
+    """One microbenchmark point (Section 6.1 defaults scaled down).
+
+    ``audit_fraction`` mixes in read-only ``Audit`` probes -- the
+    traffic class the coordination-freedom classifier proves FREE, so
+    it pays no treaty-check service component.
+    """
     workload = MicroWorkload(
         num_items=num_items,
         refill=refill,
@@ -78,12 +84,14 @@ def run_micro(
         items_per_txn=items_per_txn,
         initial_qty="random",  # start at steady state
         init_seed=seed + 1,
+        audit_fraction=audit_fraction,
     )
     cluster = build_micro_cluster(workload, mode, lookahead, cost_factor, seed)
 
     def request_fn(rng, replica: int) -> SimRequest:
         req = workload.next_request(rng, site=replica)
-        return SimRequest(req.tx_name, req.params, req.items, family="Buy")
+        family = req.tx_name.rsplit("@s", 1)[0]
+        return SimRequest(req.tx_name, req.params, req.items, family=family)
 
     config = SimConfig(
         mode=mode,

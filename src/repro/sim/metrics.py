@@ -128,6 +128,10 @@ class SimResult:
     #: ``HomeostasisCluster.escrow_stats``; empty for kernels without
     #: the counter path, e.g. the 2PC baseline)
     escrow: dict = field(default_factory=dict)
+    #: run-level static-tier counters (from
+    #: ``HomeostasisCluster.classifier_stats``: FREE-path bypasses and
+    #: clauses-in-scope per commit; empty for kernels without it)
+    classifier: dict = field(default_factory=dict)
 
     # -- derived metrics --------------------------------------------------------
 

@@ -207,6 +207,22 @@ def _collect_escrow(result: SimResult, cluster) -> None:
         result.escrow = stats()
 
 
+def _collect_classifier(result: SimResult, cluster) -> None:
+    """Fold the kernel's static-tier (path-check) counters into the
+    result (kernels without the classifier report nothing)."""
+    stats = getattr(cluster, "classifier_stats", None)
+    if stats is not None:
+        result.classifier = stats()
+
+
+def _free_transactions(cluster) -> frozenset:
+    """Transactions the classifier proved coordination-free, read once
+    at run start: their commits skip the treaty check at the site, so
+    the simulator prices them with a zero check-cost component."""
+    free = getattr(cluster, "free_transactions", None)
+    return free() if free is not None else frozenset()
+
+
 def _check_cost_ms(config: SimConfig, cluster) -> float:
     """Per-commit treaty-check service component, priced once at run
     start by the mechanism the kernel reports.
@@ -246,6 +262,7 @@ def simulate(
     # own participant edges and only degrade to this worst case).
     sync_cost_ms = 2.0 * max_rtt(matrix)
     check_ms = _check_cost_ms(config, cluster)
+    free_txns = _free_transactions(cluster)
 
     result = SimResult(
         mode=config.mode,
@@ -295,7 +312,9 @@ def simulate(
         now = ready
         faults.apply_due(now, result)
         request = request_fn(rng, replica)
-        service = rng.expovariate(1.0 / config.local_service_ms) + check_ms
+        service = rng.expovariate(1.0 / config.local_service_ms) + (
+            0.0 if request.tx_name in free_txns else check_ms
+        )
 
         if config.mode in ("homeo", "opt"):
             end, record = _run_protected(
@@ -332,6 +351,7 @@ def simulate(
     # warmup window; keep the warmup at 10% of the run in that case.
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
     _collect_escrow(result, cluster)
+    _collect_classifier(result, cluster)
     return result
 
 
@@ -383,6 +403,7 @@ def _simulate_windows(
     """
     solver = config.solver_ms if config.mode == "homeo" else 0.0
     check_ms = _check_cost_ms(config, cluster)
+    free_txns = _free_transactions(cluster)
     now = 0.0
     while clients and result.committed < config.max_txns:
         if clients[0][0] >= config.duration_ms:
@@ -405,7 +426,9 @@ def _simulate_windows(
             ready, client, replica = heapq.heappop(clients)
             now = ready
             request = request_fn(rng, replica)
-            service = rng.expovariate(1.0 / config.local_service_ms) + check_ms
+            service = rng.expovariate(1.0 / config.local_service_ms) + (
+                0.0 if request.tx_name in free_txns else check_ms
+            )
             keys = [(replica, k) for k in request.lock_keys]
             start_exec, local_end = _local_attempt(
                 cores, lock_free, replica, ready, service, keys
@@ -466,8 +489,12 @@ def _simulate_windows(
                 # negotiation gates either).
                 for li in grp.losers:
                     entry = entries[li]
-                    rerun_service = (
-                        rng.expovariate(1.0 / config.local_service_ms) + check_ms
+                    rerun_service = rng.expovariate(
+                        1.0 / config.local_service_ms
+                    ) + (
+                        0.0
+                        if entry.request.tx_name in free_txns
+                        else check_ms
                     )
                     rerun_at = _acquire_core(cores, entry.replica, neg_end)
                     rerun_end = rerun_at + rerun_service
@@ -516,6 +543,7 @@ def _simulate_windows(
     result.measured_to_ms = now
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
     _collect_escrow(result, cluster)
+    _collect_classifier(result, cluster)
     return result
 
 

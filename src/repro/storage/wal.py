@@ -164,7 +164,9 @@ class TreatyWAL:
         self._buf.clear()
 
 
-def encode_local_treaty(treaty: "LocalTreaty", headroom: dict | None = None) -> dict:
+def encode_local_treaty(
+    treaty: "LocalTreaty", headroom: dict | None = None, paths: dict | None = None
+) -> dict:
     """Serialize a local treaty (and its install-time headroom
     snapshot) into a WAL-storable record body.
 
@@ -179,6 +181,13 @@ def encode_local_treaty(treaty: "LocalTreaty", headroom: dict | None = None) -> 
     live counters against the durable store (post-install consumption
     is derivable from the data, so the recovered counters equal a
     freshly lowered treaty's).
+
+    ``paths`` is the optional per-path check partition built at
+    install time (``tx name -> PathCheck tuples``): recovery re-derives
+    the partition from the replayed treaty and the catalog, and
+    validate mode cross-checks the re-derivation against this record
+    -- the clause indices are positional into ``clauses``, which is
+    why the partition travels with the treaty rather than separately.
     """
     headroom = headroom or {}
     clauses = []
@@ -192,7 +201,12 @@ def encode_local_treaty(treaty: "LocalTreaty", headroom: dict | None = None) -> 
             }
         )
         grants.append(headroom.get(con))
-    return {"site": treaty.site, "clauses": clauses, "headroom": grants}
+    record = {"site": treaty.site, "clauses": clauses, "headroom": grants}
+    if paths is not None:
+        from repro.analysis.pathsplit import encode_path_checks
+
+        record["paths"] = encode_path_checks(paths)
+    return record
 
 
 def decode_local_treaty(record: dict):
@@ -215,3 +229,15 @@ def decode_local_treaty(record: dict):
         if grant is not None:
             headroom[con] = grant
     return LocalTreaty(site=record["site"], constraints=constraints), headroom
+
+
+def decode_recorded_paths(record: dict):
+    """The path-check partition recorded with a treaty install, or
+    ``None`` for records written before the path dimension existed
+    (the codec stays readable across that upgrade)."""
+    payload = record.get("paths")
+    if payload is None:
+        return None
+    from repro.analysis.pathsplit import decode_path_checks
+
+    return decode_path_checks(payload)

@@ -36,6 +36,7 @@ class LocalTreaty:
     _by_object: dict[str, list[tuple[LinearConstraint, ClauseCheck]]] | None = None
     _compiled: ClauseCheck | None = None
     _clause_checks_cache: list[tuple[LinearConstraint, ClauseCheck]] | None = None
+    _subset_checks: dict[tuple[int, ...], ClauseCheck] | None = None
 
     def compiled_check(self) -> ClauseCheck:
         """The whole-treaty check as one compiled closure (the
@@ -103,6 +104,24 @@ class LocalTreaty:
                         violated.add(var.name)
         return violated
 
+    def subset_check(self, indices: tuple[int, ...]) -> ClauseCheck:
+        """Compiled conjunction of the clauses at the given indices.
+
+        The path-sensitive tier precomputes, per stored-procedure
+        execution path, which clause indices the path's statically
+        known write set can touch; the per-commit check for such a
+        path is this one closure call instead of the per-object index
+        walk.  Compiled once per (treaty, index tuple) -- the
+        underlying :func:`compile_clauses` memoizes by constraint
+        tuple, so identical subsets across reinstalls share code."""
+        if self._subset_checks is None:
+            self._subset_checks = {}
+        check = self._subset_checks.get(indices)
+        if check is None:
+            check = compile_clauses(tuple(self.constraints[i] for i in indices))
+            self._subset_checks[indices] = check
+        return check
+
     def violated_clauses(self, getobj: Callable[[str], int]) -> list[LinearConstraint]:
         return [
             con for con, check in self._clause_checks() if not check(getobj)
@@ -136,6 +155,12 @@ class TreatyTable:
     #: per-site compiled whole-treaty checks (the ``check_local`` fast
     #: path); invalidated by :meth:`install_local`
     _compiled_checks: dict[int, ClauseCheck] = field(default_factory=dict)
+    #: per-site path-check kinds, recorded at install time for
+    #: observability: site -> tx name -> one check kind per execution
+    #: path (row index order).  The authoritative partition lives on
+    #: each :class:`SiteServer`; this mirror is what ``pretty`` and the
+    #: classification tooling read without reaching into servers.
+    path_kinds: dict[int, dict[str, tuple[str, ...]]] = field(default_factory=dict)
 
     @classmethod
     def assemble(
@@ -174,6 +199,14 @@ class TreatyTable:
         self.locals[site] = treaty
         self._compiled_checks.pop(site, None)
         self._factor_sites = None
+        self.path_kinds.pop(site, None)
+
+    def record_paths(self, site: int, paths) -> None:
+        """Mirror one site's installed path-check table (kinds only)."""
+        self.path_kinds[site] = {
+            tx: tuple(check.kind for check in checks)
+            for tx, checks in sorted(paths.items())
+        }
 
     def precompile(self) -> int:
         """Eagerly compile every site's check; returns the number of

@@ -54,6 +54,20 @@ def buy_source(refill: int) -> str:
     }}"""
 
 
+def audit_source() -> str:
+    """L++ source of a read-only stock probe.
+
+    Reads one item's (replicated) quantity and reports it: the
+    coordination-freedom classifier proves every path of it FREE, so
+    it rides the mixed-OLTP micro scenario as the class of traffic
+    that should never pay a treaty check."""
+    return """
+    transaction Audit(item) {
+      q := read(qty(@item));
+      print(q)
+    }"""
+
+
 def multibuy_source(refill: int, m: int) -> str:
     """L++ source of the m-item variant (Appendix F.1 / Figure 27)."""
     params = ", ".join(f"item{k}" for k in range(m))
@@ -92,6 +106,10 @@ class MicroWorkload:
     #: levels so measurements start at steady state
     initial_qty: str = "refill"
     init_seed: int = 1
+    #: fraction of requests that are read-only ``Audit`` probes (the
+    #: classifier-FREE traffic class); 0 keeps the pure Listing 1 mix
+    #: and registers no Audit procedures at all
+    audit_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         self.sites = tuple(range(self.num_sites))
@@ -103,8 +121,13 @@ class MicroWorkload:
             self.family = parse_transaction(
                 multibuy_source(self.refill, self.items_per_txn)
             )
+        self.audit_family: Transaction | None = None
+        families = [self.family]
+        if self.audit_fraction > 0.0:
+            self.audit_family = parse_transaction(audit_source())
+            families.append(self.audit_family)
         self.spec = ReplicationSpec(bases={"qty": self.sites}, home={"qty": 0})
-        self.variants = replicate_workload([self.family], self.sites, self.spec)
+        self.variants = replicate_workload(families, self.sites, self.spec)
         self.tx_home = {
             name: int(name.rsplit("@s", 1)[1]) for name in self.variants
         }
@@ -155,6 +178,12 @@ class MicroWorkload:
         domains = {"item": list(range(self.num_items))}
         out: list[tuple[SymbolicTable, int]] = []
         for name, tx in basis_variants.items():
+            if name.startswith("Audit@"):
+                # Read-only probe: its single true-guard row would only
+                # contribute Appendix C.3 print pins on every quantity
+                # -- exactly the coordination the classifier proves it
+                # does not need.
+                continue
             site = int(name.rsplit("@s", 1)[1])
             for gi in ground_instances(tx, domains):
                 out.append((build_symbolic_table(gi.transaction), site))
@@ -164,15 +193,23 @@ class MicroWorkload:
 
     def workload_model(self) -> SequenceWorkloadModel:
         def sample_params(rng: random.Random, name: str) -> dict[str, int]:
-            if self.items_per_txn == 1:
+            if self.items_per_txn == 1 or name.startswith("Audit@"):
                 return {"item": rng.randrange(self.num_items)}
             items = rng.sample(range(self.num_items), self.items_per_txn)
             return {f"item{k}": it for k, it in enumerate(items)}
 
-        return SequenceWorkloadModel(
-            mix={name: self.site_weights[self.tx_home[name]] for name in self.variants},
-            param_sampler=sample_params,
-        )
+        mix: dict[str, float] = {}
+        for name in self.variants:
+            weight = self.site_weights[self.tx_home[name]]
+            if self.audit_family is not None:
+                share = (
+                    self.audit_fraction
+                    if name.startswith("Audit@")
+                    else 1.0 - self.audit_fraction
+                )
+                weight *= share
+            mix[name] = weight
+        return SequenceWorkloadModel(mix=mix, param_sampler=sample_params)
 
     def build_homeostasis(
         self,
@@ -216,13 +253,18 @@ class MicroWorkload:
         (windowed submissions, real vote phase)."""
         return self.build_homeostasis(cluster_cls=ConcurrentCluster, **kwargs)
 
+    def _baseline_transactions(self) -> dict[str, Transaction]:
+        family_name = "Buy" if self.items_per_txn == 1 else "MultiBuy"
+        out = {f"{family_name}@s{s}": self.family for s in self.sites}
+        if self.audit_family is not None:
+            out.update({f"Audit@s{s}": self.audit_family for s in self.sites})
+        return out
+
     def build_local(self) -> LocalCluster:
         return LocalCluster(
             site_ids=self.sites,
             initial_db=dict(self.initial_values),
-            transactions={f"Buy@s{s}": self.family for s in self.sites}
-            if self.items_per_txn == 1
-            else {f"MultiBuy@s{s}": self.family for s in self.sites},
+            transactions=self._baseline_transactions(),
             tx_home=self.tx_home,
         )
 
@@ -230,9 +272,7 @@ class MicroWorkload:
         return TwoPhaseCommitCluster(
             site_ids=self.sites,
             initial_db=dict(self.initial_values),
-            transactions={f"Buy@s{s}": self.family for s in self.sites}
-            if self.items_per_txn == 1
-            else {f"MultiBuy@s{s}": self.family for s in self.sites},
+            transactions=self._baseline_transactions(),
             tx_home=self.tx_home,
         )
 
@@ -242,6 +282,9 @@ class MicroWorkload:
         if site is None:
             weights = [self.site_weights[s] for s in self.sites]
             site = rng.choices(self.sites, weights=weights, k=1)[0]
+        if self.audit_family is not None and rng.random() < self.audit_fraction:
+            item = rng.randrange(self.num_items)
+            return MicroRequest(f"Audit@s{site}", {"item": item}, site, (item,))
         if self.items_per_txn == 1:
             item = rng.randrange(self.num_items)
             name = f"Buy@s{site}"

@@ -1,0 +1,109 @@
+"""Branch-row coverage for the symbolic executor.
+
+The path-sensitive treaty tier and the coordination-freedom
+classifier both lean on the symbolic table's row split being a true
+partition of the state space: every database matches exactly one
+row's guard, and nested / iterated control flow multiplies rows
+rather than merging them.  These tests pin that contract down on the
+shapes the workloads actually use: nested conditionals, parameter
+guards, and ``foreach`` bodies containing conditionals.
+"""
+
+import pytest
+
+from repro.analysis.symbolic import (
+    AnalysisError,
+    build_symbolic_table,
+    rows_are_exclusive,
+)
+from repro.lang.lpp import desugar_transaction
+from repro.lang.parser import parse_transaction
+
+NESTED_SRC = """
+transaction Nest() {
+  v := read(x);
+  if v < 10 then {
+    if v < 5 then { write(x = v + 1) } else { write(x = v + 2) }
+  } else { write(x = 0) }
+}
+"""
+
+PARAM_GUARD_SRC = """
+transaction Gate(n) {
+  v := read(x);
+  if v < @n then { write(x = v + 1) } else { print(v) }
+}
+"""
+
+SWEEP_SRC = """
+transaction Sweep() {
+  foreach i in q {
+    v := read(q(i));
+    if v < 5 then { write(q(i) = v + 1) } else { skip }
+  }
+}
+"""
+
+
+class TestNestedIf:
+    def test_one_row_per_leaf(self):
+        table = build_symbolic_table(parse_transaction(NESTED_SRC))
+        assert len(table.rows) == 3
+
+    def test_guards_partition_the_state_space(self):
+        table = build_symbolic_table(parse_transaction(NESTED_SRC))
+        databases = [{"x": k} for k in range(-3, 15)]
+        assert rows_are_exclusive(table, databases)
+
+    def test_each_leaf_write_survives_in_its_residual(self):
+        table = build_symbolic_table(parse_transaction(NESTED_SRC))
+        residuals = sorted(row.residual.pretty() for row in table.rows)
+        assert any("+ 1" in r for r in residuals)
+        assert any("+ 2" in r for r in residuals)
+        assert any("= 0" in r for r in residuals)
+
+
+class TestParameterGuards:
+    def test_exclusive_under_any_parameter_binding(self):
+        table = build_symbolic_table(parse_transaction(PARAM_GUARD_SRC))
+        assert len(table.rows) == 2
+        databases = [{"x": k} for k in range(-2, 12)]
+        for n in (-1, 0, 5, 11):
+            assert rows_are_exclusive(table, databases, params={"n": n})
+
+    def test_exhaustive_not_just_disjoint(self):
+        # rows_are_exclusive requires exactly one matching guard, so a
+        # database matching zero rows also fails it.
+        table = build_symbolic_table(parse_transaction(PARAM_GUARD_SRC))
+        boundary = [{"x": 7}]
+        assert rows_are_exclusive(table, boundary, params={"n": 7})
+        assert rows_are_exclusive(table, boundary, params={"n": 8})
+
+
+class TestForEachRows:
+    def test_foreach_must_be_desugared_first(self):
+        tx = parse_transaction(SWEEP_SRC)
+        with pytest.raises(AnalysisError):
+            build_symbolic_table(tx)
+
+    def test_unrolled_body_multiplies_rows(self):
+        tx = desugar_transaction(parse_transaction(SWEEP_SRC), arrays={"q": (3,)})
+        table = build_symbolic_table(tx)
+        # Three unrolled iterations, each with an independent 2-way
+        # branch: one row per combination.
+        assert len(table.rows) == 8
+
+    def test_unrolled_guards_partition(self):
+        tx = desugar_transaction(parse_transaction(SWEEP_SRC), arrays={"q": (2,)})
+        table = build_symbolic_table(tx)
+        assert len(table.rows) == 4
+        databases = [
+            {"q[0]": a, "q[1]": b} for a in (0, 4, 5, 9) for b in (0, 4, 5, 9)
+        ]
+        assert rows_are_exclusive(table, databases)
+
+    def test_unrolled_residuals_write_concrete_cells(self):
+        tx = desugar_transaction(parse_transaction(SWEEP_SRC), arrays={"q": (2,)})
+        table = build_symbolic_table(tx)
+        pretty = " ".join(row.residual.pretty() for row in table.rows)
+        assert "q[0]" in pretty or "q(0)" in pretty

@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Static lint for L/L++ sources, with precise source positions.
+
+The analysis pipeline (symbolic tables, treaty generation, the
+coordination-freedom classifier) assumes well-formed inputs: every
+``@param`` declared, every temporary assigned before it is read on
+every path, every object reference naming a declared array when the
+compilation unit declares any.  Violations surface deep inside the
+analysis as confusing ``AnalysisError``/``KeyError`` failures; this
+linter reports them against the *source line and column* instead.
+
+The parser's AST nodes are frozen dataclasses used as memo-cache keys
+across the analysis, so they cannot carry positions themselves.  The
+linter instead runs a position-recording subclass of the parser that
+keeps an ``id(node) -> Token`` side table for every statement,
+object reference, and atom it builds, and the semantic walks look
+positions up through that table.
+
+Checks:
+
+- ``E001`` syntax error (the parser's own diagnosis, re-reported);
+- ``E101`` temporary read before assignment on some path
+  (branch-sensitive: a temp bound in only one arm of an ``if`` is
+  still unbound after it);
+- ``E102`` ``@name`` parameter not declared by the transaction;
+- ``E103`` read/write of an array not declared by the compilation
+  unit (only when the unit declares arrays at all -- bare
+  transaction sources carry no declarations);
+- ``E104`` ``foreach`` over an undeclared array (same scoping);
+- ``E105`` duplicate transaction name in one compilation unit;
+- ``W201`` assignment shadows a transaction parameter (the parser
+  resolves the name as the parameter afterwards, so the assignment
+  is dead).
+
+Run it over files, or over every bundled workload source with
+``--bundled`` (the CI lint job does both)::
+
+    python tools/lint_lpp.py --bundled
+    python tools/lint_lpp.py path/to/program.lpp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lang.ast import (  # noqa: E402
+    ABin,
+    AConst,
+    AExp,
+    ANeg,
+    AParam,
+    ARead,
+    ATemp,
+    ArrayRef,
+    Assign,
+    BAnd,
+    BCmp,
+    BConst,
+    BExp,
+    BNot,
+    BOr,
+    Com,
+    ForEach,
+    GroundRef,
+    If,
+    ObjRef,
+    Print,
+    Program,
+    Seq,
+    Skip,
+    Transaction,
+    Write,
+)
+from repro.lang.lexer import Token, tokenize  # noqa: E402
+from repro.lang.parser import ParseError, _Parser  # noqa: E402
+
+
+@dataclass(frozen=True)
+class Lint:
+    """One diagnostic, anchored to a 1-based source position."""
+
+    code: str
+    message: str
+    line: int
+    col: int
+
+    def render(self, source_name: str) -> str:
+        return f"{source_name}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class _PositionParser(_Parser):
+    """The production parser, plus an ``id(node) -> Token`` side
+    table.
+
+    AST nodes are frozen and hash-consed into memo caches elsewhere,
+    so positions must live *outside* the nodes.  Identity keys are
+    safe here because every node the parser constructs is a fresh
+    object; the table is only read while the parse result is alive.
+    """
+
+    def __init__(self, tokens: list[Token]) -> None:
+        super().__init__(tokens)
+        self.positions: dict[int, Token] = {}
+
+    def _record(self, node, tok: Token):
+        self.positions.setdefault(id(node), tok)
+        return node
+
+    def statement(self) -> Com:
+        tok = self.peek()
+        return self._record(super().statement(), tok)
+
+    def object_ref(self) -> ObjRef:
+        tok = self.peek()
+        return self._record(super().object_ref(), tok)
+
+    def atom(self) -> "AExp | BExp":
+        tok = self.peek()
+        return self._record(super().atom(), tok)
+
+    def transaction(self) -> Transaction:
+        tok = self.peek()
+        return self._record(super().transaction(), tok)
+
+    def position_of(self, node) -> tuple[int, int]:
+        tok = self.positions.get(id(node))
+        if tok is None:
+            return (1, 1)
+        return (tok.line, tok.col)
+
+
+class _TransactionLinter:
+    """Semantic walks over one parsed transaction."""
+
+    def __init__(
+        self,
+        tx: Transaction,
+        parser: _PositionParser,
+        arrays: frozenset[str] | None,
+    ) -> None:
+        self.tx = tx
+        self.parser = parser
+        #: declared array names, or None when the unit declares none
+        #: (bare transaction sources), which disables E103/E104
+        self.arrays = arrays
+        self.lints: list[Lint] = []
+
+    def run(self) -> list[Lint]:
+        self._walk_com(self.tx.body, set(self.tx.params), set())
+        return self.lints
+
+    def _emit(self, code: str, message: str, node) -> None:
+        line, col = self.parser.position_of(node)
+        self.lints.append(Lint(code, message, line, col))
+
+    # -- command walk (branch-sensitive bound-temp tracking) ------------------
+
+    def _walk_com(
+        self, com: Com, params: set[str], bound: set[str]
+    ) -> set[str]:
+        """Lint one command; returns the temps bound *after* it."""
+        if isinstance(com, (Skip,)):
+            return bound
+        if isinstance(com, Seq):
+            for part in (com.first, com.second):
+                bound = self._walk_com(part, params, bound)
+            return bound
+        if isinstance(com, Assign):
+            self._walk_aexp(com.expr, params, bound)
+            if com.temp in params:
+                self._emit(
+                    "W201",
+                    f"assignment shadows parameter '{com.temp}' "
+                    f"(reads still resolve to the parameter)",
+                    com,
+                )
+                return bound
+            return bound | {com.temp}
+        if isinstance(com, Write):
+            self._walk_ref(com.ref, params, bound, node=com)
+            self._walk_aexp(com.expr, params, bound)
+            return bound
+        if isinstance(com, Print):
+            self._walk_aexp(com.expr, params, bound)
+            return bound
+        if isinstance(com, If):
+            self._walk_bexp(com.cond, params, bound)
+            after_then = self._walk_com(com.then_branch, params, set(bound))
+            after_else = self._walk_com(com.else_branch, params, set(bound))
+            # A temp bound in only one arm is unbound after the join.
+            return after_then & after_else
+        if isinstance(com, ForEach):
+            if self.arrays is not None and com.array not in self.arrays:
+                self._emit(
+                    "E104",
+                    f"foreach over undeclared array '{com.array}'",
+                    com,
+                )
+            # The loop variable is bound inside the body; zero
+            # iterations leave it unbound afterwards.
+            self._walk_com(com.body, params, bound | {com.var})
+            return bound
+        raise AssertionError(f"unhandled command {type(com).__name__}")
+
+    # -- expression walks -------------------------------------------------------
+
+    def _walk_ref(
+        self, ref: ObjRef, params: set[str], bound: set[str], node=None
+    ) -> None:
+        anchor = ref if id(ref) in self.parser.positions else node
+        if isinstance(ref, ArrayRef):
+            if self.arrays is not None and ref.base not in self.arrays:
+                self._emit(
+                    "E103",
+                    f"reference to undeclared array '{ref.base}'",
+                    anchor,
+                )
+            for index in ref.index:
+                self._walk_aexp(index, params, bound)
+        elif isinstance(ref, GroundRef):
+            base = ref.name.split("[", 1)[0]
+            if self.arrays is not None and base not in self.arrays:
+                self._emit(
+                    "E103",
+                    f"reference to undeclared object '{ref.name}'",
+                    anchor,
+                )
+
+    def _walk_aexp(self, expr: AExp, params: set[str], bound: set[str]) -> None:
+        if isinstance(expr, AConst):
+            return
+        if isinstance(expr, AParam):
+            if expr.name not in params:
+                self._emit(
+                    "E102",
+                    f"parameter '@{expr.name}' is not declared by "
+                    f"transaction '{self.tx.name}'",
+                    expr,
+                )
+            return
+        if isinstance(expr, ATemp):
+            if expr.name not in bound:
+                self._emit(
+                    "E101",
+                    f"temporary '{expr.name}' may be read before "
+                    f"assignment",
+                    expr,
+                )
+            return
+        if isinstance(expr, ARead):
+            self._walk_ref(expr.ref, params, bound, node=expr)
+            return
+        if isinstance(expr, ABin):
+            self._walk_aexp(expr.left, params, bound)
+            self._walk_aexp(expr.right, params, bound)
+            return
+        if isinstance(expr, ANeg):
+            self._walk_aexp(expr.operand, params, bound)
+            return
+        raise AssertionError(f"unhandled arithmetic {type(expr).__name__}")
+
+    def _walk_bexp(self, expr: BExp, params: set[str], bound: set[str]) -> None:
+        if isinstance(expr, BConst):
+            return
+        if isinstance(expr, BCmp):
+            self._walk_aexp(expr.left, params, bound)
+            self._walk_aexp(expr.right, params, bound)
+            return
+        if isinstance(expr, (BAnd, BOr)):
+            self._walk_bexp(expr.left, params, bound)
+            self._walk_bexp(expr.right, params, bound)
+            return
+        if isinstance(expr, BNot):
+            self._walk_bexp(expr.operand, params, bound)
+            return
+        raise AssertionError(f"unhandled boolean {type(expr).__name__}")
+
+
+def lint_source(source: str) -> list[Lint]:
+    """Lint one L/L++ compilation unit (program or bare transaction).
+
+    Syntax errors short-circuit into a single ``E001`` -- there is no
+    AST to walk past them."""
+    tokens = tokenize(source)
+    parser = _PositionParser(tokens)
+    try:
+        if parser.check("keyword", "transaction") or parser.check(
+            "keyword", "array"
+        ) or parser.check("keyword", "relation"):
+            program = parser.program()
+        else:
+            body = (
+                parser.block()
+                if parser.check("op", "{")
+                else parser.command_sequence()
+            )
+            parser.expect("eof")
+            program = Program()
+            program.add(Transaction("T", (), body))
+    except ParseError as exc:
+        tok = exc.token
+        message = str(exc).split(" at line ", 1)[0]
+        return [Lint("E001", message, tok.line, tok.col)]
+    except ValueError as exc:
+        # Program.add rejects duplicate transaction names itself; the
+        # parser's cursor sits just past the offending declaration.
+        tok = parser.peek()
+        return [Lint("E105", str(exc), tok.line, tok.col)]
+
+    lints: list[Lint] = []
+    arrays = frozenset(program.arrays) if program.arrays else None
+    for tx in program.transactions.values():
+        lints.extend(_TransactionLinter(tx, parser, arrays).run())
+    lints.sort(key=lambda item: (item.line, item.col, item.code))
+    return lints
+
+
+def bundled_sources() -> dict[str, str]:
+    """Every L/L++ source string shipped with the bundled workloads,
+    instantiated at representative parameters."""
+    from repro.workloads.geo import group_buy_source
+    from repro.workloads.micro import audit_source, buy_source, multibuy_source
+    from repro.workloads.topk import AGG_INSERT_SRC
+    from repro.workloads.tpcc import DELIVERY_SRC, NEW_ORDER_SRC, PAYMENT_SRC
+    from repro.workloads.weather import (
+        record_low_source,
+        record_range_source,
+        top2_of_differences_source,
+        top2_of_minimums_source,
+    )
+
+    return {
+        "micro:Buy": buy_source(refill=100),
+        "micro:Audit": audit_source(),
+        "micro:MultiBuy": multibuy_source(refill=100, m=3),
+        "tpcc:NewOrder": NEW_ORDER_SRC,
+        "tpcc:Payment": PAYMENT_SRC,
+        "tpcc:Delivery": DELIVERY_SRC,
+        "geo:GroupBuy": group_buy_source(gid=0, base="stock_g0", refill=100),
+        "topk:AggInsert": AGG_INSERT_SRC,
+        "weather:RecordLow": record_low_source(num_days=3),
+        "weather:RecordObs": record_range_source(num_days=3),
+        "weather:Top2Lows": top2_of_minimums_source(num_days=3),
+        "weather:Top2Diffs": top2_of_differences_source(num_days=3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "files", nargs="*", type=Path, help="L/L++ source files to lint"
+    )
+    parser.add_argument(
+        "--bundled",
+        action="store_true",
+        help="lint every bundled workload source",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.bundled:
+        parser.error("nothing to lint: pass files and/or --bundled")
+
+    units: list[tuple[str, str]] = []
+    if args.bundled:
+        units.extend(sorted(bundled_sources().items()))
+    for path in args.files:
+        units.append((str(path), path.read_text()))
+
+    failures = 0
+    for name, source in units:
+        lints = lint_source(source)
+        for item in lints:
+            print(item.render(name))
+        failures += len(lints)
+    total = len(units)
+    if failures:
+        print(f"{failures} problem(s) across {total} source(s)", file=sys.stderr)
+        return 1
+    print(f"{total} source(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
