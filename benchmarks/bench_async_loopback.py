@@ -1,0 +1,254 @@
+"""Wall-clock throughput of the asyncio runtime over loopback sockets.
+
+Unlike every other benchmark in this directory, nothing here is
+simulated: a real ``repro-serve`` process owns the cluster, ``N``
+concurrent client connections drive transactions over real TCP, every
+inter-site message crosses the server's event loop as an encoded wire
+frame, and the measured txn/s is honest wall-clock throughput of the
+whole stack (client socket -> serve task -> kernel driver thread ->
+site inbox tasks -> reply).
+
+The committed ``BENCH_async_loopback.json`` baseline is gated by
+``compare_bench.py`` with **floors, not relative diffs**: wall-clock
+throughput on shared CI runners is far too noisy for the 20% relative
+gate the simulated scenarios use, but a broken runtime does not get
+10% slower -- it collapses (a sender sleeping out its timeout per
+send, a serialized connection handler, a reply misrouted).  The gate
+asserts:
+
+- at least ``connections`` concurrent client connections were driven;
+- wall-clock throughput stays above an absolute floor chosen ~10x
+  below healthy local readings;
+- the run negotiated (sync ratio in (0, max]): a schedule that never
+  violates treaties measures the wrong code path;
+- real frames crossed the inter-site wire;
+- the differential oracle (async vs deterministic kernel, >= 3 seeds
+  x micro + geo) reports agreement.
+
+Run::
+
+    python benchmarks/bench_async_loopback.py --out bench-results
+    python benchmarks/bench_async_loopback.py --out .   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.client import ServeClient  # noqa: E402
+from repro.runtime.differential import (  # noqa: E402
+    geo_case,
+    micro_case,
+    run_differential,
+)
+
+SCHEMA_VERSION = 3
+
+#: wall-clock txn/s floor (healthy local runs measure well above 10x
+#: this; the gate catches collapse, not wobble)
+THROUGHPUT_FLOOR_TXN_PER_S = 50.0
+
+#: the run must negotiate, but not on every transaction
+SYNC_RATIO_MAX = 0.9
+
+#: differential-oracle seeds (x both workloads)
+ORACLE_SEEDS = (0, 1, 2)
+
+
+def _start_server(items: int, refill: int, seed: int) -> tuple[subprocess.Popen, str, int]:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime.serve",
+            "--port",
+            "0",
+            "--workload",
+            "micro",
+            "--strategy",
+            "equal-split",
+            "--items",
+            str(items),
+            "--refill",
+            str(refill),
+            "--seed",
+            str(seed),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": src},
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = re.match(r"repro-serve listening on (\S+):(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"repro-serve did not come up: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def drive(
+    connections: int, txns_per_connection: int, items: int, refill: int, seed: int
+) -> dict:
+    """One measured run: N client threads against a fresh server."""
+    proc, host, port = _start_server(items, refill, seed)
+    latencies_ms: list[float] = []
+    statuses: list[str] = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def worker(n: int) -> None:
+        local_lat, local_status = [], []
+        try:
+            with ServeClient(host, port) as client:
+                for i in range(txns_per_connection):
+                    t0 = time.perf_counter()
+                    result = client.submit(
+                        f"Buy@s{(n + i) % 2}", {"item": (n * 7 + i) % items}
+                    )
+                    local_lat.append((time.perf_counter() - t0) * 1e3)
+                    local_status.append(result["status"])
+        except BaseException as exc:
+            errors.append(exc)
+            return
+        with lock:
+            latencies_ms.extend(local_lat)
+            statuses.extend(local_status)
+
+    threads = [
+        threading.Thread(target=worker, args=(n,)) for n in range(connections)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    if errors:
+        proc.kill()
+        raise RuntimeError(f"client thread failed: {errors[0]!r}")
+
+    with ServeClient(host, port) as client:
+        stats = client.stats()
+        client.shutdown()
+    proc.wait(timeout=30)
+
+    total = connections * txns_per_connection
+    lat_sorted = sorted(latencies_ms)
+
+    def pct(p: float) -> float:
+        return lat_sorted[min(len(lat_sorted) - 1, int(p * len(lat_sorted)))]
+
+    return {
+        "connections": connections,
+        "txns": total,
+        "committed": sum(1 for s in statuses if s == "committed"),
+        "wall_time_s": round(wall_s, 3),
+        "throughput_txn_per_s": round(total / wall_s, 1),
+        "latency_p50_ms": round(pct(0.50), 3),
+        "latency_p99_ms": round(pct(0.99), 3),
+        "latency_mean_ms": round(statistics.fmean(latencies_ms), 3),
+        "negotiations": stats["negotiations"],
+        "sync_ratio": round(stats["sync_ratio"], 5),
+        "frames_sent": stats["wire"]["frames_sent"],
+        "bytes_sent": stats["wire"]["bytes_sent"],
+    }
+
+
+def differential_gate(txns: int = 30) -> dict:
+    """The correctness leg: async == deterministic on every seed."""
+    mismatches: list[str] = []
+    negotiations = 0
+    for workload, case in (("micro", micro_case), ("geo", geo_case)):
+        for seed in ORACLE_SEEDS:
+            factory, schedule = case(seed, txns=txns)
+            report = run_differential(factory, schedule)
+            negotiations += report.negotiations
+            if not report.ok:
+                mismatches.extend(
+                    f"{workload}/seed{seed}: {m}" for m in report.mismatches
+                )
+    return {
+        "seeds": list(ORACLE_SEEDS),
+        "workloads": ["micro", "geo"],
+        "txns_per_schedule": txns,
+        "negotiations": negotiations,
+        "ok": not mismatches,
+        "mismatches": mismatches[:10],
+    }
+
+
+def run(connections: int, txns_per_connection: int, items: int, refill: int, seed: int) -> dict:
+    measured = drive(connections, txns_per_connection, items, refill, seed)
+    oracle = differential_gate()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": "async_loopback",
+        "mode": "async",
+        "txns": measured["committed"],
+        "negotiations": measured["negotiations"],
+        "wall_time_s": measured["wall_time_s"],
+        # wall-clock, host-dependent: gated by absolute floor only
+        "throughput_txn_per_s": measured["throughput_txn_per_s"],
+        "sync_ratio": measured["sync_ratio"],
+        "p50_ms": measured["latency_p50_ms"],
+        "p99_ms": measured["latency_p99_ms"],
+        "async_gate": {
+            "connections": measured["connections"],
+            "min_connections": 4,
+            "throughput_floor_txn_per_s": THROUGHPUT_FLOOR_TXN_PER_S,
+            "sync_ratio_max": SYNC_RATIO_MAX,
+            "submitted": measured["txns"],
+            "committed": measured["committed"],
+            "latency_mean_ms": measured["latency_mean_ms"],
+            "frames_sent": measured["frames_sent"],
+            "bytes_sent": measured["bytes_sent"],
+            "differential": oracle,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--out", type=Path, default=Path("bench-results"))
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--txns-per-connection", type=int, default=150)
+    parser.add_argument("--items", type=int, default=12)
+    parser.add_argument("--refill", type=int, default=9)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    record = run(
+        args.connections, args.txns_per_connection, args.items, args.refill, args.seed
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    path = args.out / "BENCH_async_loopback.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    gate = record["async_gate"]
+    print(
+        f"async_loopback: {record['txns']} txns over {gate['connections']} "
+        f"connections, {record['throughput_txn_per_s']:.1f} txn/s wall-clock, "
+        f"sync ratio {record['sync_ratio']:.4f}, "
+        f"p99 {record['p99_ms']:.1f} ms, "
+        f"{gate['frames_sent']} wire frames, "
+        f"differential {'ok' if gate['differential']['ok'] else 'DIVERGED'} "
+        f"-> {path}"
+    )
+    return 0 if gate["differential"]["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,18 @@ Gates (per scenario):
   commit, recorded in the adaptive_skew scenario's gate block) must
   not rise above the baseline: a path-sensitivity regression that
   sends partitioned checks back to whole-treaty evaluation should
-  fail loudly.
+  fail loudly;
+- records carrying an ``async_gate`` block (the async_loopback
+  scenario, produced by ``bench_async_loopback.py`` rather than the
+  harness) are judged by **absolute floors only** -- their
+  throughput is real wall-clock over loopback sockets, far too
+  host-dependent for relative gates.  The floors: at least
+  ``min_connections`` concurrent client connections, throughput at
+  or above the recorded floor, every submitted transaction
+  committed, a sync ratio in ``(0, sync_ratio_max]`` (the run must
+  negotiate, on the async wire), real inter-site frames sent, and
+  the differential oracle (async kernel vs deterministic simulator
+  on identical seeds) reporting agreement.
 
 ``wall_time_s`` and absolute check rates are host-dependent and only
 reported, never gated.  Exit status is non-zero iff any gate fails,
@@ -105,6 +116,11 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
     must fail once, not once per scenario)."""
     failures: list[str] = []
     name = baseline["scenario"]
+
+    if baseline.get("async_gate") or current.get("async_gate"):
+        # Wall-clock-over-sockets records: absolute floors only, the
+        # relative gates below assume deterministic simulated numbers.
+        return async_gate_failures(name, current)
 
     base_tput = baseline["throughput_txn_per_s"]
     cur_tput = current["throughput_txn_per_s"]
@@ -237,6 +253,57 @@ def fault_gate_failures(name: str, current: dict) -> list[str]:
     return failures
 
 
+def async_gate_failures(name: str, current: dict) -> list[str]:
+    """Absolute floors for a record's ``async_gate`` block (empty for
+    scenarios without one).  The async_loopback record measures the
+    real asyncio runtime over loopback sockets, so its throughput is
+    host wall-clock: the gate catches collapse (a sender sleeping out
+    its timeout per send, a serialized connection handler), not
+    wobble, and the correctness burden rides on the differential
+    oracle instead."""
+    gate = current.get("async_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    if gate["connections"] < gate["min_connections"]:
+        failures.append(
+            f"{name}: only {gate['connections']} concurrent connection(s), "
+            f"need >= {gate['min_connections']}"
+        )
+    tput = current["throughput_txn_per_s"]
+    floor = gate["throughput_floor_txn_per_s"]
+    if tput < floor:
+        failures.append(
+            f"{name}: wall-clock throughput {tput:.1f} txn/s below the "
+            f"{floor:.1f} floor (runtime collapsed, not wobbled)"
+        )
+    if gate["committed"] < gate["submitted"]:
+        failures.append(
+            f"{name}: only {gate['committed']}/{gate['submitted']} "
+            f"transactions committed on a fault-free loopback run"
+        )
+    sync = current["sync_ratio"]
+    if not 0.0 < sync <= gate["sync_ratio_max"]:
+        failures.append(
+            f"{name}: sync ratio {sync:.4f} outside (0, "
+            f"{gate['sync_ratio_max']}] (the run must negotiate, but not "
+            f"on every transaction)"
+        )
+    if gate["frames_sent"] <= 0:
+        failures.append(
+            f"{name}: no inter-site wire frames sent (treaty negotiation "
+            f"never crossed the async transport)"
+        )
+    oracle = gate["differential"]
+    if not oracle["ok"]:
+        shown = "; ".join(oracle.get("mismatches", [])[:3]) or "no detail"
+        failures.append(
+            f"{name}: differential oracle diverged (async kernel != "
+            f"deterministic simulator): {shown}"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -271,11 +338,31 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{baseline['scenario']}: missing {cur_path}")
             continue
         current = _load(cur_path)
-        speedups.append(current["check_microbench"]["speedup"])
-        escrow_speedups.append(current["check_microbench"]["escrow_speedup"])
+        microbench = current.get("check_microbench")
+        if microbench is not None:  # absent on the async_loopback record
+            speedups.append(microbench["speedup"])
+            escrow_speedups.append(microbench["escrow_speedup"])
         scenario_failures = compare_scenario(baseline, current, args.threshold)
         failures.extend(scenario_failures)
         status = "FAIL" if scenario_failures else "ok"
+        agate = current.get("async_gate")
+        if agate:
+            oracle = agate["differential"]
+            print(
+                f"[{status}] {baseline['scenario']}: wall-clock "
+                f"{current['throughput_txn_per_s']:.1f} txn/s over "
+                f"{agate['connections']} connection(s) (floor "
+                f"{agate['throughput_floor_txn_per_s']:.0f}, baseline "
+                f"{baseline['throughput_txn_per_s']:.1f}, not gated "
+                f"relatively), {agate['committed']}/{agate['submitted']} "
+                f"committed, sync {current['sync_ratio']:.4f}, p99 "
+                f"{current['p99_ms']:.1f} ms, {agate['frames_sent']} wire "
+                f"frame(s), differential "
+                f"{'ok' if oracle['ok'] else 'DIVERGED'} over "
+                f"{len(oracle['seeds'])} seed(s) x {len(oracle['workloads'])} "
+                f"workload(s)"
+            )
+            continue
         print(
             f"[{status}] {baseline['scenario']}: "
             f"throughput {baseline['throughput_txn_per_s']:.1f} -> "

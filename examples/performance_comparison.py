@@ -10,7 +10,7 @@ and synchronization ratio.
 Run:  python examples/performance_comparison.py
 """
 
-from repro.sim.experiments import run_micro
+from repro import run_micro
 
 MODES = ("homeo", "opt", "2pc", "local")
 

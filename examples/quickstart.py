@@ -18,18 +18,20 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro.analysis.joint import build_joint_table
-from repro.analysis.symbolic import build_symbolic_table
-from repro.lang.interp import evaluate
-from repro.lang.parser import parse_transaction
-from repro.logic.linearize import linearize_for_treaty
-from repro.treaty.config import (
+from repro import (
+    MicroWorkload,
+    SequenceWorkloadModel,
+    build_cluster,
+    build_joint_table,
+    build_symbolic_table,
+    build_templates,
     default_configuration,
     equal_split_configuration,
+    evaluate,
+    linearize_for_treaty,
+    optimize_configuration,
+    parse_transaction,
 )
-from repro.treaty.optimize import SequenceWorkloadModel, optimize_configuration
-from repro.treaty.templates import build_templates
-from repro.workloads.micro import MicroWorkload
 
 T1_SRC = """
 transaction T1() {
@@ -110,7 +112,8 @@ def protocol_demo() -> None:
     print("5. The homeostasis protocol on a replicated stock workload")
     print("=" * 72)
     workload = MicroWorkload(num_items=10, refill=20, num_sites=2)
-    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    spec = workload.cluster_spec(strategy="equal-split", validate=True)
+    cluster = build_cluster(spec)
 
     rng = random.Random(7)
     schedule = [workload.next_request(rng) for _ in range(400)]

@@ -10,7 +10,7 @@ stream under both algorithms and compares message counts.
 Run:  python examples/topk_aggregation.py
 """
 
-from repro.workloads.topk import (
+from repro import (
     TopKSystem,
     TopKWorkload,
     aggregator_table,

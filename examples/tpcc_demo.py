@@ -17,8 +17,7 @@ Run:  python examples/tpcc_demo.py
 import random
 from collections import defaultdict
 
-from repro.lang.interp import evaluate
-from repro.workloads.tpcc import TpccWorkload
+from repro import TpccWorkload, build_cluster, evaluate
 
 
 def main() -> None:
@@ -33,7 +32,7 @@ def main() -> None:
     )
     print("Building symbolic tables and treaties "
           f"({len(workload.variants)} transaction variants)...")
-    cluster = workload.build_homeostasis(strategy="equal-split")
+    cluster = build_cluster(workload.cluster_spec(strategy="equal-split"))
 
     print("One transformed New Order variant (Appendix B deltas visible):")
     print(workload.variants["NewOrder@s0"].pretty())

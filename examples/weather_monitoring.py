@@ -11,8 +11,7 @@ are observable (treaty-violating) versus silent.
 Run:  python examples/weather_monitoring.py
 """
 
-from repro.lang.interp import evaluate
-from repro.workloads.weather import WeatherWorkload
+from repro import WeatherWorkload, evaluate
 
 
 def case_structure(table, title):

@@ -18,30 +18,54 @@ The package implements the paper's full pipeline from scratch:
   2PL, undo log, relational veneer; the paper used MySQL);
 - :mod:`repro.protocol` -- the homeostasis protocol kernel, the
   Appendix B remote-write transform, and the LOCAL / 2PC baselines;
+- :mod:`repro.runtime` -- the asyncio runtime: sites as tasks,
+  messages as wire frames, ``repro-serve`` over loopback sockets;
 - :mod:`repro.sim` -- the discrete-event performance harness
   (replaces the paper's EC2 deployment);
 - :mod:`repro.workloads` -- the microbenchmark, the TPC-C subset,
   top-k, and the Appendix D weather examples.
 
-Quickstart (see also ``examples/quickstart.py``)::
+This module is the public facade: analysis entry points, the workload
+builders, and the :class:`ClusterSpec` / :func:`build_cluster` pair
+that constructs any protocol kernel (sequential, concurrent, async)
+from one declarative value.  Quickstart (see also
+``examples/quickstart.py``)::
 
-    from repro import analyze, parse_transaction
+    from repro import MicroWorkload, build_cluster
 
-    tx = parse_transaction('''
-        transaction T(p) {
-          q := read(stock(@p));
-          if q > 0 then { write(stock(@p) = q - 1) }
-          else { write(stock(@p) = 99) }
-        }
-    ''')
-    table = analyze(tx)
-    print(table.pretty())
+    workload = MicroWorkload(num_items=10, refill=20, num_sites=2)
+    cluster = build_cluster(workload.cluster_spec(strategy="equal-split"))
+    result = cluster.submit("Buy@s0", {"item": 3})
+    print(result.status, cluster.stats.sync_ratio)
 """
 
+from repro.analysis.joint import build_joint_table
 from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
 from repro.lang.interp import evaluate
 from repro.lang.parser import parse_program, parse_transaction
+from repro.logic.linearize import linearize_for_treaty
+from repro.protocol.config import ClusterSpec, build_cluster
 from repro.protocol.homeostasis import HomeostasisCluster, TreatyGenerator
+from repro.protocol.messages import Outcome
+from repro.sim.experiments import run_micro
+from repro.sim.runner import SimConfig, SimResult
+from repro.sim.runner import simulate as run_simulation
+from repro.treaty.config import (
+    default_configuration,
+    equal_split_configuration,
+)
+from repro.treaty.optimize import SequenceWorkloadModel, optimize_configuration
+from repro.treaty.templates import build_templates
+from repro.workloads.geo import GeoMicroWorkload
+from repro.workloads.micro import MicroWorkload
+from repro.workloads.topk import (
+    TopKSystem,
+    TopKWorkload,
+    aggregator_table,
+    skip_guard_threshold,
+)
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.weather import WeatherWorkload
 
 __version__ = "1.0.0"
 
@@ -52,13 +76,41 @@ def analyze(transaction, simplify: bool = True) -> SymbolicTable:
 
 
 __all__ = [
-    "HomeostasisCluster",
+    # analysis pipeline
     "SymbolicTable",
-    "TreatyGenerator",
     "analyze",
+    "build_joint_table",
     "build_symbolic_table",
+    "build_templates",
+    "linearize_for_treaty",
+    # language
     "evaluate",
     "parse_program",
     "parse_transaction",
+    # treaty configuration
+    "SequenceWorkloadModel",
+    "default_configuration",
+    "equal_split_configuration",
+    "optimize_configuration",
+    # cluster construction + protocol
+    "ClusterSpec",
+    "HomeostasisCluster",
+    "Outcome",
+    "TreatyGenerator",
+    "build_cluster",
+    # simulation harness
+    "SimConfig",
+    "SimResult",
+    "run_micro",
+    "run_simulation",
+    # workloads
+    "GeoMicroWorkload",
+    "MicroWorkload",
+    "TopKSystem",
+    "TopKWorkload",
+    "TpccWorkload",
+    "WeatherWorkload",
+    "aggregator_table",
+    "skip_guard_threshold",
     "__version__",
 ]

@@ -77,12 +77,25 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.protocol.homeostasis import HomeostasisCluster, ProtocolError
-from repro.protocol.messages import Vote, VoteReply
+from repro.analysis.symbolic import SymbolicTable
+from repro.protocol.homeostasis import (
+    AdaptiveSettings,
+    HomeostasisCluster,
+    ProtocolError,
+    TreatyGenerator,
+)
+from repro.protocol.messages import Outcome, Vote, VoteReply
 from repro.protocol.site import SiteResult
-from repro.protocol.transport import NegotiationTrace, UnreachableError
+from repro.protocol.transport import (
+    NegotiationTrace,
+    Transport,
+    UnreachableError,
+)
+
+if TYPE_CHECKING:
+    from typing import Callable
 
 
 @dataclass
@@ -109,11 +122,20 @@ class WindowOutcome:
     rebalances: int = 0
     #: participants of the won refresh (empty when none ran)
     rebalance_participants: tuple[int, ...] = ()
-    #: True when the transaction could not complete because a site it
-    #: needed was unreachable (origin down, or its conflict group's
-    #: scope contained a crashed site); the client retries after
-    #: recovery
-    failed: bool = False
+    #: unified result status (see
+    #: :class:`~repro.protocol.messages.Outcome`): ``REFUSED`` when a
+    #: site the transaction needed was *known* down before its round
+    #: opened (origin down, or a crashed site inside its conflict
+    #: group's scope), ``UNAVAILABLE`` when a vote/sync timeout
+    #: discovered the crash mid-round; the client retries after
+    #: recovery either way
+    status: Outcome = Outcome.COMMITTED
+
+    @property
+    def failed(self) -> bool:
+        """The transaction did not complete (derived from ``status``,
+        so the two surfaces cannot disagree)."""
+        return self.status in (Outcome.REFUSED, Outcome.UNAVAILABLE)
 
 
 @dataclass
@@ -206,13 +228,48 @@ class ConcurrentCluster(HomeostasisCluster):
     through :meth:`submit_window`.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        site_ids: Sequence[int],
+        locate: "Callable[[str], int]",
+        initial_db: Mapping[str, int],
+        tables: Sequence[SymbolicTable],
+        tx_home: Mapping[str, int],
+        generator: TreatyGenerator,
+        arrays: Mapping[str, tuple[int, ...]] | None = None,
+        post_sync_hooks: Sequence["Callable[[HomeostasisCluster], None]"] = (),
+        validate: bool = False,
+        deterministic_solver: bool = True,
+        adaptive: AdaptiveSettings | None = None,
+        transport: Transport | None = None,
+    ) -> None:
+        super().__init__(
+            site_ids=site_ids,
+            locate=locate,
+            initial_db=initial_db,
+            tables=tables,
+            tx_home=tx_home,
+            generator=generator,
+            arrays=arrays,
+            post_sync_hooks=post_sync_hooks,
+            validate=validate,
+            deterministic_solver=deterministic_solver,
+            adaptive=adaptive,
+            transport=transport,
+        )
+
+    def _setup(self, *args, **kwargs) -> None:
+        super()._setup(*args, **kwargs)
         self._txn_seq = itertools.count()
 
     # -- fault handling ------------------------------------------------------------
 
-    def _fail_group(self, group: list[_Contender], outcomes) -> None:
+    def _fail_group(
+        self,
+        group: list[_Contender],
+        outcomes,
+        status: Outcome = Outcome.REFUSED,
+    ) -> None:
         """A group's negotiation cannot run (its scope contains an
         unreachable site).  Violator members fail -- their cleanup
         needs that site by definition, so re-running them this window
@@ -221,7 +278,7 @@ class ConcurrentCluster(HomeostasisCluster):
         already committed, and the watermark re-triggers later."""
         for contender in group:
             if not contender.rebalance:
-                outcomes[contender.index].failed = True
+                outcomes[contender.index].status = status
 
     def _abort_wave_round(self, rnd: _WaveRound, outcomes) -> None:
         """A crash was discovered mid-round (vote/sync timeout): close
@@ -230,7 +287,7 @@ class ConcurrentCluster(HomeostasisCluster):
         closures, so the crashed site cannot be in theirs."""
         self.transport.abort(rnd.trace)
         self.stats.timeouts += 1
-        self._fail_group(rnd.group, outcomes)
+        self._fail_group(rnd.group, outcomes, status=Outcome.UNAVAILABLE)
         rnd.alive = False
 
     # -- window machinery ----------------------------------------------------------
@@ -454,7 +511,7 @@ class ConcurrentCluster(HomeostasisCluster):
                 )
             committed, violators, unreachable = self._execute_round(pending)
             for entry in unreachable:
-                outcomes[entry.index].failed = True
+                outcomes[entry.index].status = Outcome.REFUSED
             for entry, res in committed:
                 self.stats.committed_local += 1
                 out = outcomes[entry.index]

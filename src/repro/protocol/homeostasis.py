@@ -73,8 +73,9 @@ H1/H2 survive.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.analysis.residual import residual_reads
 from repro.analysis.symbolic import SymbolicTable
@@ -85,6 +86,7 @@ from repro.logic.terms import ObjT
 from repro.protocol.messages import (
     CleanupRun,
     MessageStats,
+    Outcome,
     RebalanceRequest,
     Rejoin,
     SyncBroadcast,
@@ -109,6 +111,9 @@ from repro.treaty.optimize import (
 from repro.treaty.table import TreatyTable
 from repro.treaty.templates import TreatyTemplates, build_templates
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports us)
+    from repro.protocol.config import ClusterSpec
+
 #: Recognized treaty strategies.
 TreatyStrategy = str  # 'default' | 'equal-split' | 'optimized' | 'demand'
 
@@ -129,9 +134,19 @@ class Unavailable(Exception):
     where *every* transaction raises this while any replica is down.
     """
 
-    def __init__(self, reason: str, sites: frozenset[int] = frozenset()) -> None:
+    def __init__(
+        self,
+        reason: str,
+        sites: frozenset[int] = frozenset(),
+        status: Outcome = Outcome.UNAVAILABLE,
+    ) -> None:
         super().__init__(reason)
         self.sites = sites
+        #: how the facade reports this failure: ``REFUSED`` when the
+        #: needed site was *known* down (fast refusal, no messages
+        #: wasted), ``UNAVAILABLE`` when a timeout discovered the
+        #: crash mid-round
+        self.status = status
 
 
 @dataclass
@@ -149,6 +164,12 @@ class ClusterResult:
     #: transaction triggered by breaching the adaptive low-watermark
     #: (empty when no refresh ran); priced like any negotiation
     rebalanced: tuple[int, ...] = ()
+    #: unified result status (see :class:`~repro.protocol.messages.Outcome`);
+    #: :meth:`HomeostasisCluster.submit` raises on unavailability, so
+    #: results it returns are always ``COMMITTED`` --
+    #: :meth:`HomeostasisCluster.try_submit` maps the exception into
+    #: ``REFUSED``/``UNAVAILABLE`` results instead
+    status: Outcome = Outcome.COMMITTED
 
 
 @dataclass
@@ -564,9 +585,76 @@ class ClusterStats:
 
 
 class HomeostasisCluster:
-    """K sites executing a known workload under the homeostasis protocol."""
+    """K sites executing a known workload under the homeostasis protocol.
+
+    Construct through :func:`repro.protocol.config.build_cluster` (a
+    :class:`~repro.protocol.config.ClusterSpec` names every option);
+    the positional constructor below is a deprecated compatibility
+    shim.
+    """
 
     def __init__(
+        self,
+        site_ids: Sequence[int],
+        locate: Callable[[str], int],
+        initial_db: Mapping[str, int],
+        tables: Sequence[SymbolicTable],
+        tx_home: Mapping[str, int],
+        generator: TreatyGenerator,
+        arrays: Mapping[str, tuple[int, ...]] | None = None,
+        post_sync_hooks: Sequence[Callable[["HomeostasisCluster"], None]] = (),
+        validate: bool = False,
+        deterministic_solver: bool = True,
+        adaptive: AdaptiveSettings | None = None,
+        transport: Transport | None = None,
+    ) -> None:
+        warnings.warn(
+            f"constructing {type(self).__name__} directly is deprecated; "
+            "build a repro.protocol.config.ClusterSpec and call "
+            "build_cluster(spec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._setup(
+            site_ids=site_ids,
+            locate=locate,
+            initial_db=initial_db,
+            tables=tables,
+            tx_home=tx_home,
+            generator=generator,
+            arrays=arrays,
+            post_sync_hooks=post_sync_hooks,
+            validate=validate,
+            deterministic_solver=deterministic_solver,
+            adaptive=adaptive,
+            transport=transport,
+        )
+
+    @classmethod
+    def _from_spec(
+        cls, spec: "ClusterSpec", transport: Transport | None = None
+    ) -> "HomeostasisCluster":
+        """Construct from a :class:`~repro.protocol.config.ClusterSpec`
+        without tripping the deprecation shim (the
+        :func:`~repro.protocol.config.build_cluster` entry point)."""
+        self = cls.__new__(cls)
+        self._setup(
+            site_ids=spec.sites,
+            locate=spec.locate,
+            initial_db=spec.initial_db,
+            tables=spec.tables,
+            tx_home=spec.tx_home,
+            generator=spec.make_generator(),
+            arrays=dict(spec.arrays) or None,
+            post_sync_hooks=spec.post_sync_hooks,
+            validate=spec.validate,
+            deterministic_solver=spec.deterministic_solver,
+            adaptive=spec.adaptive,
+            transport=transport,
+        )
+        return self
+
+    def _setup(
         self,
         site_ids: Sequence[int],
         locate: Callable[[str], int],
@@ -668,6 +756,7 @@ class HomeostasisCluster:
             raise Unavailable(
                 f"{what} needs unreachable site(s) {sorted(down)}",
                 sites=frozenset(down),
+                status=Outcome.REFUSED,
             )
 
     def _install_new_treaty(
@@ -1061,7 +1150,9 @@ class HomeostasisCluster:
         self.stats.submitted += 1
         if self.transport.is_down(origin):
             raise Unavailable(
-                f"origin site {origin} is down", sites=frozenset({origin})
+                f"origin site {origin} is down",
+                sites=frozenset({origin}),
+                status=Outcome.REFUSED,
             )
 
         result: SiteResult = server.execute(tx_name, params)
@@ -1136,6 +1227,27 @@ class HomeostasisCluster:
             synced=True,
             participants=tuple(sorted(participants)),
         )
+
+    def try_submit(
+        self, tx_name: str, params: Mapping[str, int] | None = None
+    ) -> ClusterResult:
+        """:meth:`submit`, with unavailability mapped into the result.
+
+        The facade entry point for callers that branch on
+        :class:`~repro.protocol.messages.Outcome` instead of catching
+        :class:`Unavailable`: a refused or timed-out submission comes
+        back as an empty result carrying ``REFUSED``/``UNAVAILABLE``
+        (no state or treaty changed; retry after recovery).
+        """
+        try:
+            return self.submit(tx_name, params)
+        except Unavailable as exc:
+            return ClusterResult(
+                log=(),
+                site=self.tx_home[tx_name],
+                synced=False,
+                status=exc.status,
+            )
 
     def precompile_checks(self) -> int:
         """Warm every compiled hot-path check; returns closures warmed.

@@ -45,11 +45,39 @@ it just sends messages.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.treaty.table import LocalTreaty
+
+
+class Outcome(enum.Enum):
+    """Final status of one submitted transaction, shared by every
+    result surface (:class:`~repro.protocol.homeostasis.ClusterResult`,
+    :class:`~repro.protocol.concurrent.WindowOutcome`, and the serve
+    wire protocol), so callers stop fingerprinting exception types
+    against ``failed`` flags.
+
+    - ``COMMITTED``: the transaction's effects are durable -- either a
+      local disconnected commit or a commit through a cleanup round.
+    - ``ABORTED``: the submission was rejected before any protocol
+      round ran (e.g. an unknown transaction name at the serve layer);
+      no state changed.
+    - ``REFUSED``: a site the submission needs is *known* to be down
+      (its origin, or a known-crashed member of its negotiation's
+      participant closure), so the round was refused up front without
+      wasting messages.  Retry after recovery.
+    - ``UNAVAILABLE``: a crash was discovered mid-round by waiting out
+      a timeout; the round aborted cleanly and nothing changed.  Retry
+      after recovery.
+    """
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    UNAVAILABLE = "unavailable"
+    REFUSED = "refused"
 
 
 @dataclass(frozen=True)

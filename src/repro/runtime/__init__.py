@@ -1,0 +1,51 @@
+"""The asyncio runtime: sites as tasks, messages as wire frames.
+
+Everything below :mod:`repro.protocol` executes the homeostasis
+protocol in one deterministic thread; this package runs the *same*
+kernel against real concurrency.  Each
+:class:`~repro.protocol.site.SiteServer` is owned by an independent
+asyncio inbox task (single-writer discipline: all message handling
+for a site happens inside its task, so site state needs no locks),
+every inter-site message crosses the event loop as a length-prefixed
+JSON frame (:mod:`repro.runtime.codec`), and fault injection is
+physical -- a dropped frame is simply never delivered and the sender
+discovers the loss by waiting out a wall-clock timeout
+(:class:`~repro.runtime.transport.AsyncTransport`).
+
+:class:`~repro.runtime.cluster.AsyncClusterHost` assembles the pieces
+behind the :func:`~repro.protocol.config.build_cluster` facade
+(``kernel="async"``), :mod:`repro.runtime.serve` exposes the cluster
+over loopback sockets (the ``repro-serve`` console entry point) with
+:class:`~repro.runtime.client.ServeClient` as the matching client,
+and :mod:`repro.runtime.differential` cross-checks the whole stack
+against the deterministic kernel on identical schedules.
+"""
+
+from repro.runtime.client import ServeClient
+from repro.runtime.cluster import AsyncClusterHost
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    CodecError,
+    TruncatedFrame,
+    UnknownMessageType,
+    UnknownWireVersion,
+    decode_message,
+    encode_message,
+)
+from repro.runtime.differential import DifferentialReport, run_differential
+from repro.runtime.transport import AsyncTransport
+
+__all__ = [
+    "WIRE_VERSION",
+    "AsyncClusterHost",
+    "AsyncTransport",
+    "CodecError",
+    "DifferentialReport",
+    "ServeClient",
+    "TruncatedFrame",
+    "UnknownMessageType",
+    "UnknownWireVersion",
+    "decode_message",
+    "encode_message",
+    "run_differential",
+]

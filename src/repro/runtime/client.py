@@ -1,0 +1,91 @@
+"""Blocking client for a ``repro-serve`` listener.
+
+:class:`ServeClient` is the synchronous counterpart of the serve
+protocol (see :mod:`repro.runtime.serve` for the request/response
+vocabulary): one TCP connection, length-prefixed frames, one reply per
+request.  Deliberately thread-dumb -- benchmark and smoke harnesses
+open one client per worker thread, which is also how the serve layer
+is meant to be loaded (concurrent connections, serialized kernel).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from repro.runtime.codec import (
+    CodecError,
+    decode_payload,
+    encode_payload,
+    read_frame_from_socket,
+)
+
+
+class ServeError(Exception):
+    """The server answered with an error frame (or hung up mid-reply)."""
+
+
+class ServeClient:
+    """One blocking connection to a ``repro-serve`` listener."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7737, *, timeout_s: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    # -- request primitives --------------------------------------------------------
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one frame, wait for the matching reply frame."""
+        self._sock.sendall(encode_payload(payload))
+        frame = read_frame_from_socket(self._sock)
+        if frame is None:
+            raise ServeError("server closed the connection before replying")
+        reply = decode_payload(frame)
+        if reply.get("t") == "error":
+            raise ServeError(reply.get("reason", "unspecified server error"))
+        return reply
+
+    # -- serve protocol ------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"t": "ping"}).get("t") == "ok"
+
+    def submit(
+        self, tx_name: str, params: Mapping[str, int] | None = None
+    ) -> dict[str, Any]:
+        """Submit one transaction; returns the result dict (``status``
+        is an :class:`~repro.protocol.messages.Outcome` value string)."""
+        reply = self.request(
+            {"t": "submit", "tx": tx_name, "params": dict(params or {})}
+        )
+        if reply.get("t") != "result":
+            raise ServeError(f"expected a result frame, got {reply!r}")
+        return reply
+
+    def stats(self) -> dict[str, Any]:
+        reply = self.request({"t": "stats"})
+        if reply.get("t") != "stats":
+            raise ServeError(f"expected a stats frame, got {reply!r}")
+        return reply
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (reply arrives first)."""
+        self.request({"t": "shutdown"})
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["CodecError", "ServeClient", "ServeError"]

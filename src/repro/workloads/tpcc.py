@@ -44,11 +44,11 @@ from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
 from repro.logic.formula import BoolConst
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
+from repro.protocol.config import ClusterSpec
 from repro.protocol.homeostasis import (
     AdaptiveSettings,
     HomeostasisCluster,
     OptimizerSettings,
-    TreatyGenerator,
 )
 from repro.protocol.remote_writes import (
     ReplicationSpec,
@@ -316,6 +316,39 @@ class TpccWorkload:
 
     # -- cluster builders -----------------------------------------------------------------
 
+    def cluster_spec(
+        self,
+        strategy: str = "optimized",
+        lookahead: int = 20,
+        cost_factor: int = 3,
+        seed: int = 0,
+        validate: bool = False,
+        adaptive: AdaptiveSettings | None = None,
+    ) -> ClusterSpec:
+        """The workload as a :class:`ClusterSpec` (feed
+        :func:`~repro.protocol.config.build_cluster` with any kernel)."""
+        optimizer = None
+        if strategy == "optimized":
+            optimizer = OptimizerSettings(
+                model=self.workload_model(),
+                lookahead=lookahead,
+                cost_factor=cost_factor,
+                rng=random.Random(seed),
+            )
+        return ClusterSpec(
+            sites=self.sites,
+            locate=self.locate,
+            initial_db=self.initial_db,
+            tables=tuple(self.runtime_tables()),
+            tx_home=self.tx_home,
+            ground_tables=tuple(self.ground_tables()),
+            families=dict(self.variants),
+            strategy=strategy,
+            optimizer=optimizer,
+            adaptive=adaptive,
+            validate=validate,
+        )
+
     def build_homeostasis(
         self,
         strategy: str = "optimized",
@@ -325,32 +358,15 @@ class TpccWorkload:
         validate: bool = False,
         adaptive: AdaptiveSettings | None = None,
     ) -> HomeostasisCluster:
-        optimizer = None
-        if strategy == "optimized":
-            optimizer = OptimizerSettings(
-                model=self.workload_model(),
-                lookahead=lookahead,
-                cost_factor=cost_factor,
-                rng=random.Random(seed),
-            )
-        generator = TreatyGenerator(
-            ground_tables=self.ground_tables(),
-            locate=self.locate,
-            sites=self.sites,
+        spec = self.cluster_spec(
             strategy=strategy,
-            optimizer=optimizer,
-            families=dict(self.variants),
-        )
-        return HomeostasisCluster(
-            site_ids=self.sites,
-            locate=self.locate,
-            initial_db=self.initial_db,
-            tables=self.runtime_tables(),
-            tx_home=self.tx_home,
-            generator=generator,
+            lookahead=lookahead,
+            cost_factor=cost_factor,
+            seed=seed,
             validate=validate,
             adaptive=adaptive,
         )
+        return HomeostasisCluster._from_spec(spec)
 
     def _untransformed_variants(self) -> dict[str, Transaction]:
         """Per-site original programs (for LOCAL / 2PC, which replicate

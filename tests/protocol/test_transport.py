@@ -231,20 +231,18 @@ class TestParticipantScoping:
         assert stats.messages.sync_broadcasts == stats.negotiations * 6
 
     def test_nondeterministic_solver_ships_treaties(self):
+        import dataclasses
+
+        from repro.protocol.config import build_cluster
+
         workload = MicroWorkload(num_items=3, refill=6, num_sites=2)
         gen_cluster = workload.build_homeostasis(strategy="equal-split")
         # Rebuild with the nondeterministic-solver accounting enabled.
-        from repro.protocol.homeostasis import HomeostasisCluster
-
-        cluster = HomeostasisCluster(
-            site_ids=workload.sites,
-            locate=workload.locate,
-            initial_db=workload.initial_db,
-            tables=workload.runtime_tables(),
-            tx_home=workload.tx_home,
-            generator=workload.build_homeostasis(strategy="equal-split").generator,
+        spec = dataclasses.replace(
+            workload.cluster_spec(strategy="equal-split"),
             deterministic_solver=False,
         )
+        cluster = build_cluster(spec)
         rng = random.Random(5)
         for _ in range(60):
             req = workload.next_request(rng)
