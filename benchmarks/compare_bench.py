@@ -19,6 +19,16 @@ Gates (per scenario):
   the outage window while 2PC blocks**: homeo outage-window
   availability strictly above 2PC's, above an absolute floor (0.5),
   and 2PC's at most 0.05 -- all deterministic under the fixed seed;
+  a ``winner_crash`` sub-block additionally asserts the Paxos Commit
+  survivor path: the round whose origin crash-stopped mid-quorum
+  committed without the origin, announced completion, and the origin
+  recovered and committed again (every flag checked);
+- scenarios carrying a ``fairness_gate`` block (the contention_races
+  scenario) must show the budgeted credit policy **bounding the worst
+  losing streak** in the tie-dominated regime: credit's
+  max-consecutive-losses at or below an absolute ceiling (3) and
+  strictly below the pure site-id priority policy's, whose streaks
+  grow with skew -- deterministic under the fixed seed;
 - the treaty-check microbenchmark ``speedup`` must stay at or above
   ``--min-speedup`` (default 1.5).  The recorded speedups sit at
   ~2.4-2.9x; the floor is deliberately below them because the speedup
@@ -167,6 +177,7 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
     failures.extend(checks_per_commit_failures(name, baseline, current))
     failures.extend(adaptive_gate_failures(name, current))
     failures.extend(fault_gate_failures(name, current))
+    failures.extend(fairness_gate_failures(name, current))
     return failures
 
 
@@ -249,6 +260,81 @@ def fault_gate_failures(name: str, current: dict) -> list[str]:
         failures.append(
             f"{name}: 2PC outage availability {twopc:.4f} above the "
             f"{FAULT_TWOPC_CEILING} ceiling (2PC should block during an outage)"
+        )
+    failures.extend(winner_crash_failures(name, gate.get("winner_crash")))
+    return failures
+
+
+#: winner_crash flags that must all be true for the survivor path to
+#: count as exercised (see run_winner_crash for what each one means)
+WINNER_CRASH_FLAGS = (
+    "committed",
+    "origin_down_at_completion",
+    "origin_excluded",
+    "recovered_clean",
+    "post_recovery_committed",
+)
+
+
+def winner_crash_failures(name: str, crash: dict | None) -> list[str]:
+    """The Paxos Commit survivor-completion gate over a fault_gate's
+    ``winner_crash`` sub-block (empty when absent, for baselines
+    predating it).  The scenario is fully deterministic."""
+    if not crash:
+        return []
+    failures: list[str] = []
+    for flag in WINNER_CRASH_FLAGS:
+        if not crash.get(flag):
+            failures.append(
+                f"{name}: winner_crash flag {flag!r} is false (survivor "
+                f"completion of the crashed origin's round broke)"
+            )
+    if crash.get("complete_messages", 0) < 1:
+        failures.append(
+            f"{name}: winner_crash announced no Complete message (the "
+            f"survivor never closed the round for the other participants)"
+        )
+    return failures
+
+
+#: absolute ceiling on the credit policy's worst losing streak in the
+#: tie-dominated fairness scenario (the recorded value sits at 2; the
+#: budgeted credit bounds it by construction, so 3 is headroom for
+#: workload-mix drift, not for a starvation regression)
+CREDIT_MAX_LOSSES = 3
+
+
+def fairness_gate_failures(name: str, current: dict) -> list[str]:
+    """The starvation-freedom gate over a record's ``fairness_gate``
+    block (empty for scenarios without one).  Both policies run the
+    identical tie-dominated skew point, so the comparison is
+    deterministic under the fixed seed."""
+    gate = current.get("fairness_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    priority = gate.get("priority") or {}
+    credit = gate.get("credit") or {}
+    credit_losses = credit.get("max_consecutive_losses")
+    priority_losses = priority.get("max_consecutive_losses")
+    if credit_losses is None or priority_losses is None:
+        return [f"{name}: fairness_gate missing a policy block"]
+    if credit_losses > CREDIT_MAX_LOSSES:
+        failures.append(
+            f"{name}: credit policy's max consecutive losses "
+            f"{credit_losses} above the {CREDIT_MAX_LOSSES} ceiling "
+            f"(priority credit no longer bounds starvation)"
+        )
+    if not credit_losses < priority_losses:
+        failures.append(
+            f"{name}: credit max consecutive losses {credit_losses} not "
+            f"strictly below priority's {priority_losses} at skew "
+            f"{gate.get('skew')} (the policies stopped separating)"
+        )
+    if credit.get("elections", 0) <= 0:
+        failures.append(
+            f"{name}: fairness scenario held no contested elections "
+            f"(the tie-dominated point stopped racing)"
         )
     return failures
 
@@ -396,6 +482,28 @@ def main(argv: list[str] | None = None) -> int:
                 f"{fgate['twopc_outage_availability']:.4f} "
                 f"({fgate['homeo_recoveries']} recovery round(s), "
                 f"{fgate['homeo_timeouts']} homeo timeout(s))"
+            )
+            crash = fgate.get("winner_crash")
+            if crash:
+                ok = all(crash.get(f) for f in WINNER_CRASH_FLAGS)
+                print(
+                    f"    winner_crash: {'ok' if ok else 'FAIL'} -- "
+                    f"{crash.get('survivors', 0)} survivor(s) finished the "
+                    f"round ({crash.get('phase2a_messages', 0)} Phase2a, "
+                    f"{crash.get('phase2b_messages', 0)} Phase2b, "
+                    f"{crash.get('complete_messages', 0)} Complete)"
+                )
+        pgate = current.get("fairness_gate")
+        if pgate:
+            pri = pgate.get("priority") or {}
+            cre = pgate.get("credit") or {}
+            print(
+                f"    fairness_gate: max consecutive losses priority "
+                f"{pri.get('max_consecutive_losses')} vs credit "
+                f"{cre.get('max_consecutive_losses')} at skew "
+                f"{pgate.get('skew')} (worst-site p99 wait "
+                f"{pri.get('worst_site_p99_wait')} vs "
+                f"{cre.get('worst_site_p99_wait')} election(s))"
             )
 
     # One shared measurement, one gate: the harness copies the same

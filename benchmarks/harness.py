@@ -92,7 +92,30 @@ Schema (``schema_version`` 3)::
         "twopc_availability": float,
         "twopc_outage_availability": float,
         "homeo_recoveries": int,              # WAL replay + rejoin rounds
-        "homeo_timeouts": int                 # unavailability failures
+        "homeo_timeouts": int,                # unavailability failures
+        # the Paxos Commit winner-crash scenario (the negotiation
+        # origin crash-stops mid-quorum; a survivor must finish the
+        # round from the acceptors' WAL state) -- every flag gated
+        "winner_crash": {
+          "committed": bool, "origin_down_at_completion": bool,
+          "origin_excluded": bool, "survivors": int,
+          "complete_messages": int,
+          "phase2a_messages": int, "phase2b_messages": int,
+          "recovered_clean": bool, "post_recovery_committed": bool
+        }
+      },
+      # contention_races only: the arbitration-fairness comparison in
+      # the tie-dominated regime (coarse clocks, Zipf-skewed load),
+      # gated by compare_bench.py: the credit policy must bound the
+      # worst losing streak that pure site-id tie-breaking lets grow
+      "fairness_gate": {
+        "skew": float, "clock_quantum_ms": float,
+        "<policy>": {                          # "priority" and "credit"
+          "elections": int,                    # contested elections
+          "max_consecutive_losses": int,       # worst site streak
+          "worst_site_p99_wait": float,        # elections-waited p99
+          "per_site_max_losses": {str: int}
+        }
       }
     }
 
@@ -119,12 +142,14 @@ from repro.logic.compile import (  # noqa: E402
     interpret_clauses,
     lower_to_escrow,
 )
+from repro.protocol.paxos_commit import NegotiationSpec  # noqa: E402
 from repro.sim.experiments import (  # noqa: E402
     run_adaptive_skew,
     run_contention,
     run_faults,
     run_geo,
     run_micro,
+    run_winner_crash,
 )
 from repro.treaty.escrow import EscrowAccount  # noqa: E402
 from repro.workloads.micro import MicroWorkload  # noqa: E402
@@ -226,8 +251,62 @@ def _scenario_geo_pricing():
     return run_geo("homeo", max_txns=1_500, seed=0)
 
 
+#: the skew of the fairness comparison (matches the adaptive point)
+FAIRNESS_SKEW = 2.0
+
+#: the tie-dominated arbitration point: Zipf(2.0)-skewed clients over
+#: four replicas, hot items, and an arbitration clock so coarse that
+#: every within-window race carries equal vote timestamps -- elections
+#: are decided purely by the tie-break chain (credit, then site id),
+#: the regime where the policies separate
+_FAIRNESS_POINT = dict(
+    num_replicas=4,
+    clients_per_replica=8,
+    num_items=12,
+    skew=FAIRNESS_SKEW,
+    max_txns=1_200,
+    seed=0,
+    config_overrides={"clock_quantum_ms": 1e6},
+)
+
+
 def _scenario_contention_races():
-    return run_contention("homeo", num_items=20, window_ms=10.0, max_txns=800, seed=0)
+    """Racing violators under the concurrent runtime, plus fairness.
+
+    The scenario's headline metrics are the legacy uniform-load run
+    (unchanged semantics); the ``fairness_gate`` extras run the
+    tie-dominated skew point under both arbitration policies and
+    record each one's credit-ledger summary, which ``compare_bench.py``
+    enforces: the budgeted credit policy must bound the worst losing
+    streak that pure site-id tie-breaking lets grow.
+    """
+    headline = run_contention(
+        "homeo", num_items=20, window_ms=10.0, max_txns=800, seed=0
+    )
+    gate: dict = {
+        "skew": FAIRNESS_SKEW,
+        "clock_quantum_ms": _FAIRNESS_POINT["config_overrides"]["clock_quantum_ms"],
+    }
+    for policy in ("priority", "credit"):
+        result = run_contention(
+            "homeo",
+            negotiation=NegotiationSpec(policy=policy),
+            **_FAIRNESS_POINT,
+        )
+        fairness = result.fairness
+        per_site = fairness["per_site"]
+        gate[policy] = {
+            "elections": fairness["elections"],
+            "max_consecutive_losses": fairness["max_consecutive_losses"],
+            "worst_site_p99_wait": max(
+                (d["wait_p99"] for d in per_site.values()), default=0.0
+            ),
+            "per_site_max_losses": {
+                str(site): d["max_consecutive_losses"]
+                for site, d in sorted(per_site.items())
+            },
+        }
+    return headline, {"fairness_gate": gate}
 
 
 #: the high-skew point of the adaptive-reallocation experiment
@@ -319,6 +398,11 @@ def _scenario_faults():
         "twopc_outage_availability": round(twopc.availability_between(*window), 5),
         "homeo_recoveries": homeo.recoveries,
         "homeo_timeouts": homeo.timeouts,
+        # The non-blocking negotiation scenario: the origin of a
+        # violating round crash-stops after the first Phase2b ack and
+        # a survivor completes the round from the acceptors' WAL
+        # state (validate-mode oracles on throughout).
+        "winner_crash": run_winner_crash(seed=0),
     }
     return homeo, {"fault_gate": gate}
 

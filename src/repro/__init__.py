@@ -44,10 +44,10 @@ from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
 from repro.lang.interp import evaluate
 from repro.lang.parser import parse_program, parse_transaction
 from repro.logic.linearize import linearize_for_treaty
-from repro.protocol.config import ClusterSpec, build_cluster
+from repro.protocol.config import ClusterSpec, NegotiationSpec, build_cluster
 from repro.protocol.homeostasis import HomeostasisCluster, TreatyGenerator
 from repro.protocol.messages import Outcome
-from repro.sim.experiments import run_micro
+from repro.sim.experiments import run_contention, run_micro
 from repro.sim.runner import SimConfig, SimResult
 from repro.sim.runner import simulate as run_simulation
 from repro.treaty.config import (
@@ -95,12 +95,14 @@ __all__ = [
     # cluster construction + protocol
     "ClusterSpec",
     "HomeostasisCluster",
+    "NegotiationSpec",
     "Outcome",
     "TreatyGenerator",
     "build_cluster",
     # simulation harness
     "SimConfig",
     "SimResult",
+    "run_contention",
     "run_micro",
     "run_simulation",
     # workloads

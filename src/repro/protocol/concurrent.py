@@ -17,12 +17,16 @@ cleanup phase's election real:
    independently;
 3. **vote phase** -- inside each group the contenders exchange
    :class:`~repro.protocol.messages.Vote` messages carrying their
-   ``(timestamp, site, txn_seq)`` priority tuples; the lowest tuple
-   wins deterministically, every loser concedes with a
+   ``(timestamp, -credit, site, txn_seq)`` priority tuples; the
+   lowest tuple wins deterministically, every loser concedes with a
    :class:`~repro.protocol.messages.VoteReply`, and the winner
-   announces itself to the non-contender participants of its closure
-   (this is the winner-election that Consensus on Transaction Commit
-   frames as the degenerate single-coordinator case);
+   announces itself to the non-contender participants of its closure.
+   Under the budgeted-credit arbitration policy
+   (:class:`~repro.protocol.paxos_commit.NegotiationSpec` with
+   ``policy="credit"``) each lost election accrues priority credit
+   that strictly improves the loser's next bid, bounding consecutive
+   losses; the legacy priority policy bids zero credit everywhere and
+   reproduces the historical ordering exactly;
 4. **parallel negotiations** -- the winners of *disjoint* groups run
    their cleanup rounds concurrently: their transport contexts are
    all opened before any closes, and the sync / re-run / install
@@ -87,6 +91,7 @@ from repro.protocol.homeostasis import (
     TreatyGenerator,
 )
 from repro.protocol.messages import Outcome, Vote, VoteReply
+from repro.protocol.paxos_commit import NegotiationSpec, QuorumUnreachable
 from repro.protocol.site import SiteResult
 from repro.protocol.transport import (
     NegotiationTrace,
@@ -202,10 +207,18 @@ class _Contender:
     lost: int = 0
     participants: set[int] = field(default_factory=set)
     affected: set[str] = field(default_factory=set)
+    #: priority credit bid this election (0 under the legacy policy;
+    #: refreshed from the credit ledger at grouping time otherwise)
+    credit: int = 0
 
     @property
-    def priority(self) -> tuple[int, int, int]:
-        return (self.timestamp, self.origin, self.txn_seq)
+    def priority(self) -> tuple[int, int, int, int]:
+        # Credit is folded in *ahead of the site id* (negated: more
+        # credit = higher priority), closing the latent tie where equal
+        # ``(timestamp, txn_seq)`` bids always favored low-numbered
+        # sites.  With zero credit everywhere (the legacy policy) the
+        # ordering is exactly the historical one.
+        return (self.timestamp, -self.credit, self.origin, self.txn_seq)
 
 
 @dataclass
@@ -218,6 +231,11 @@ class _WaveRound:
     dirty: set[str] = field(default_factory=set)
     reference: tuple[int, ...] | None = None
     written: set[str] = field(default_factory=set)
+    #: site driving the round past the decision (the winner's origin,
+    #: or the survivor that completed a crashed coordinator's round)
+    decided_origin: int = -1
+    #: participants still live after the decision phase (empty: all)
+    live: set[int] = field(default_factory=set)
 
 
 class ConcurrentCluster(HomeostasisCluster):
@@ -242,6 +260,7 @@ class ConcurrentCluster(HomeostasisCluster):
         deterministic_solver: bool = True,
         adaptive: AdaptiveSettings | None = None,
         transport: Transport | None = None,
+        negotiation: NegotiationSpec | None = None,
     ) -> None:
         super().__init__(
             site_ids=site_ids,
@@ -256,6 +275,7 @@ class ConcurrentCluster(HomeostasisCluster):
             deterministic_solver=deterministic_solver,
             adaptive=adaptive,
             transport=transport,
+            negotiation=negotiation,
         )
 
     def _setup(self, *args, **kwargs) -> None:
@@ -387,6 +407,10 @@ class ConcurrentCluster(HomeostasisCluster):
             )
             entry.participants = participants
             entry.affected = self.generator.objects_touching(closure) | closure
+            # Refresh the bid from the credit ledger at grouping time:
+            # a site that lost last wave's election bids the improved
+            # priority this wave (0 under the legacy policy).
+            entry.credit = self.fairness.bid_credit(entry.origin)
             entries.append(entry)
         groups: list[list[_Contender]] = []
         scopes: list[set[int]] = []
@@ -413,9 +437,10 @@ class ConcurrentCluster(HomeostasisCluster):
     def _vote_phase(self, group: list[_Contender]) -> None:
         """Contenders exchange votes; losers concede to the winner.
 
-        The winner is the lowest ``(timestamp, site, txn_seq)`` tuple;
-        every contender computes it independently from the exchanged
-        votes, so arbitration needs no extra coordinator.
+        The winner is the lowest ``(timestamp, -credit, site,
+        txn_seq)`` tuple; every contender computes it independently
+        from the exchanged votes -- the credit term rides inside each
+        :class:`Vote` -- so arbitration needs no extra coordinator.
         """
         winner = group[0]  # groups are priority-sorted
         if len(group) > 1:
@@ -432,6 +457,7 @@ class ConcurrentCluster(HomeostasisCluster):
                             tx_name=voter.tx_name,
                             timestamp=voter.timestamp,
                             txn_seq=voter.txn_seq,
+                            credit=voter.credit,
                         )
                     )
             for loser in group[1:]:
@@ -563,10 +589,51 @@ class ConcurrentCluster(HomeostasisCluster):
                     )
                 except UnreachableError:
                     self._abort_wave_round(rnd, outcomes)
+            # Decision phase (NegotiationSpec attached): each alive
+            # round makes its commit decision quorum-durable through
+            # Paxos Commit before anything irreversible runs.  A round
+            # that loses its acceptor quorum aborts cleanly like a
+            # sync timeout; a round whose *winner* crashes mid-quorum
+            # is completed by a surviving participant, and the rest of
+            # the wave finishes it over the live participants.
+            # Rebalance rounds stay on the legacy path: they install
+            # from already-committed state, are best-effort by
+            # contract, and abort harmlessly on any crash.
+            for rnd in rounds:
+                if not rnd.alive:
+                    continue
+                winner = rnd.group[0]
+                if self._paxos is None or winner.rebalance:
+                    continue
+                try:
+                    try:
+                        self._paxos.decide(
+                            winner.origin, rnd.trace.index, winner.participants
+                        )
+                    except UnreachableError:
+                        if not self.transport.is_down(winner.origin):
+                            raise
+                        rnd.decided_origin = self._survivor_complete(
+                            rnd.trace.index,
+                            winner.origin,
+                            set(winner.participants),
+                            winner.tx_name,
+                        )
+                except (QuorumUnreachable, UnreachableError):
+                    self._abort_wave_round(rnd, outcomes)
+                    continue
+                rnd.live = set(winner.participants) - self.transport.down
+                for down_sid in set(winner.participants) - rnd.live:
+                    # The decision is durable; the dead participant
+                    # re-runs T' deterministically at recovery.
+                    self._missed_runs[down_sid] = (
+                        winner.tx_name,
+                        dict(winner.params or {}),
+                    )
             # Commit point: the surviving rounds run to completion
             # (same contract as the sequential path -- T' commits site
-            # by site, so crashes past this point are outside the
-            # fault model).
+            # by site; the quorum decision above is what lets a round
+            # outlive its coordinator past this line).
             alive = [rnd for rnd in rounds if rnd.alive]
             for rnd in alive:
                 winner = rnd.group[0]
@@ -574,8 +641,12 @@ class ConcurrentCluster(HomeostasisCluster):
                     # A refresh aborts nothing, so there is no T' to
                     # re-run -- the round is sync + regeneration only.
                     continue
+                if rnd.decided_origin < 0:
+                    rnd.decided_origin = winner.origin
+                if not rnd.live:
+                    rnd.live = set(winner.participants)
                 rnd.reference, rnd.written = self._cleanup_execute(
-                    winner.origin, winner.tx_name, winner.params, winner.participants
+                    rnd.decided_origin, winner.tx_name, winner.params, rnd.live
                 )
             # Closure coverage is checked against the pre-wave treaty
             # table, before any group installs its replacement.
@@ -591,8 +662,12 @@ class ConcurrentCluster(HomeostasisCluster):
                     dirty=rnd.dirty
                     | rnd.written
                     | set(winner.seed if winner.rebalance else ()),
-                    participants=winner.participants,
-                    origin=winner.origin,
+                    participants=rnd.live or set(winner.participants),
+                    origin=(
+                        rnd.decided_origin
+                        if rnd.decided_origin >= 0
+                        else winner.origin
+                    ),
                 )
             for rnd in alive:
                 self.transport.end(rnd.trace)
@@ -611,7 +686,9 @@ class ConcurrentCluster(HomeostasisCluster):
                     self.stats.negotiations += 1
                     out.log = reference
                     out.synced = True
-                    out.participants = tuple(sorted(winner.participants))
+                    out.participants = tuple(
+                        sorted(rnd.live or winner.participants)
+                    )
                     out.wave = wave
                     out.commit_seq = next(commit_seq)
                     out.negotiation_index = trace.index
@@ -629,6 +706,17 @@ class ConcurrentCluster(HomeostasisCluster):
                         outcomes[loser.index].lost_votes += 1
                         violator_losers.append(loser)
                         losers.append(loser)
+                # Settle the election in the credit ledger: the winner
+                # spends its credit (closing its losing streak), every
+                # losing *site* accrues -- the fairness counters behind
+                # ``fairness_stats()`` and the benchmark gate.  The
+                # ledger tracks site-level starvation, so a site racing
+                # against itself (several clients of one replica in the
+                # group) is not its own loser.
+                self.fairness.record_election(
+                    winner.origin,
+                    sorted({c.origin for c in group[1:]} - {winner.origin}),
+                )
                 wave_groups.append(
                     GroupOutcome(
                         wave=wave,

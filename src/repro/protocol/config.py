@@ -38,12 +38,13 @@ from repro.protocol.homeostasis import (
     TreatyGenerator,
 )
 from repro.protocol.messages import Outcome
+from repro.protocol.paxos_commit import NegotiationSpec
 from repro.protocol.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - runtime imports protocol, not back
     from repro.runtime.cluster import AsyncClusterHost
 
-__all__ = ["ClusterSpec", "Outcome", "build_cluster"]
+__all__ = ["ClusterSpec", "NegotiationSpec", "Outcome", "build_cluster"]
 
 #: Kernels :func:`build_cluster` can instantiate.
 KERNELS = ("sequential", "concurrent", "async")
@@ -85,6 +86,12 @@ class ClusterSpec:
     optimizer: OptimizerSettings | None = None
     #: adaptive-reallocation knobs (enables watermark refreshes)
     adaptive: AdaptiveSettings | None = None
+    #: non-blocking negotiation knobs: attach a
+    #: :class:`~repro.protocol.paxos_commit.NegotiationSpec` to run
+    #: cleanup-round commit decisions through a Paxos Commit acceptor
+    #: quorum (survivor-completable) and to pick the arbitration
+    #: policy; None keeps the legacy single-coordinator decision
+    negotiation: NegotiationSpec | None = None
     #: run the validation oracles (H1/H2, sync agreement, escrow
     #: cross-checks) next to every protocol step
     validate: bool = False

@@ -93,6 +93,12 @@ from repro.protocol.messages import (
     TreatyInstall,
     Vote,
 )
+from repro.protocol.paxos_commit import (
+    CreditLedger,
+    NegotiationSpec,
+    PaxosCommitDriver,
+    QuorumUnreachable,
+)
 from repro.protocol.site import SiteResult, SiteServer, clause_slack
 from repro.protocol.transport import Transport, UnreachableError
 from repro.treaty.config import (
@@ -607,6 +613,7 @@ class HomeostasisCluster:
         deterministic_solver: bool = True,
         adaptive: AdaptiveSettings | None = None,
         transport: Transport | None = None,
+        negotiation: NegotiationSpec | None = None,
     ) -> None:
         warnings.warn(
             f"constructing {type(self).__name__} directly is deprecated; "
@@ -628,6 +635,7 @@ class HomeostasisCluster:
             deterministic_solver=deterministic_solver,
             adaptive=adaptive,
             transport=transport,
+            negotiation=negotiation,
         )
 
     @classmethod
@@ -651,6 +659,7 @@ class HomeostasisCluster:
             deterministic_solver=spec.deterministic_solver,
             adaptive=spec.adaptive,
             transport=transport,
+            negotiation=spec.negotiation,
         )
         return self
 
@@ -668,6 +677,7 @@ class HomeostasisCluster:
         deterministic_solver: bool = True,
         adaptive: AdaptiveSettings | None = None,
         transport: Transport | None = None,
+        negotiation: NegotiationSpec | None = None,
     ) -> None:
         self.site_ids = tuple(site_ids)
         self.locate = locate
@@ -685,6 +695,20 @@ class HomeostasisCluster:
         self.transport = transport if transport is not None else Transport()
         self.stats = ClusterStats(transport=self.transport)
         self.treaty_table: TreatyTable | None = None
+        # Non-blocking negotiation: with a NegotiationSpec the cleanup
+        # round's commit decision runs through a Paxos Commit acceptor
+        # quorum (None keeps the legacy single-coordinator decision).
+        # The credit ledger always exists -- fairness is observed under
+        # either policy so the two can be compared on one workload.
+        self.negotiation = negotiation
+        self.fairness = CreditLedger(
+            spec=negotiation if negotiation is not None else NegotiationSpec()
+        )
+        self._paxos: PaxosCommitDriver | None = None
+        #: rounds completed by a survivor while their coordinator was
+        #: down: site -> (tx_name, params) of the T' it must re-run
+        #: deterministically at recovery to catch up
+        self._missed_runs: dict[int, tuple[str, dict[str, int]]] = {}
         self.post_sync_hooks = list(post_sync_hooks)
         self.validate = validate
         self.deterministic_solver = deterministic_solver
@@ -703,6 +727,11 @@ class HomeostasisCluster:
             server.engine.checkpoint()
             self.sites[sid] = server
             self.transport.register(sid, server)
+
+        if negotiation is not None:
+            self._paxos = PaxosCommitDriver(
+                transport=self.transport, sites=self.sites, spec=negotiation
+            )
 
         self._install_new_treaty(dirty=None)
 
@@ -911,9 +940,13 @@ class HomeostasisCluster:
     ) -> None:
         """Sites outside the participant set must already enforce the
         exact piece the new table assigns them (the incremental
-        generator reuses their factors verbatim)."""
+        generator reuses their factors verbatim).  Crashed sites are
+        exempt: their volatile treaty is gone by definition -- a
+        coordinator that died mid-decision sat the install out, and the
+        recovered-treaty oracle holds it to the table's entry once it
+        replays its WAL and catches up."""
         for sid in self.site_ids:
-            if sid in participants:
+            if sid in participants or sid in self.transport.down:
                 continue
             installed = self.sites[sid].local_treaty
             have = {c.pretty() for c in installed.constraints} if installed else set()
@@ -1030,6 +1063,43 @@ class HomeostasisCluster:
                 f"cleanup of {tx_name} wrote objects involving "
                 f"non-participant sites {sorted(uncovered)}"
             )
+
+    def _survivor_complete(
+        self,
+        round_index: int,
+        origin: int,
+        participants: set[int],
+        tx_name: str,
+    ) -> int:
+        """Finish a round whose coordinator crashed mid-decision: walk
+        the live participants (lowest site first) until one drives the
+        Paxos completion to a quorum, and return it as the round's new
+        origin.  Raises :class:`QuorumUnreachable` when no survivor can
+        complete the round (every live candidate failed, or none are
+        left) -- the caller aborts cleanly; the decision either never
+        became durable or will be completed after recovery."""
+        assert self._paxos is not None
+        tried: set[int] = set()
+        while True:
+            candidates = sorted(
+                set(participants) - self.transport.down - tried - {origin}
+            )
+            if not candidates:
+                raise QuorumUnreachable(
+                    f"no surviving participant of {sorted(participants)} "
+                    "could complete the round"
+                )
+            survivor = candidates[0]
+            tried.add(survivor)
+            try:
+                self._paxos.complete_as_survivor(
+                    survivor, round_index, participants, tx_name
+                )
+            except UnreachableError:
+                # The survivor itself died mid-completion; the next
+                # candidate solicits the same durable acceptor state.
+                continue
+            return survivor
 
     # -- adaptive reallocation ----------------------------------------------------
     #
@@ -1200,24 +1270,57 @@ class HomeostasisCluster:
                 f"cleanup of {tx_name} timed out: {exc}",
                 sites=frozenset({exc.dst}),
             ) from exc
-        # Commit point: from here the round must run to completion.  A
-        # crash discovered during the T' re-execution or install phases
-        # would leave participants divergent (T' commits site by site),
-        # so it is *not* converted into a clean Unavailable -- it
-        # escapes as UnreachableError with the round still open, which
-        # trips the transport's nesting invariant loudly on the next
-        # round.  Real deployments close this window with coordinator
-        # redo logging; the fault plans used here schedule crash-stops
-        # in the vote/sync window or between rounds.
+        # Decision phase (NegotiationSpec attached): make the round's
+        # commit decision quorum-durable through Paxos Commit before
+        # anything irreversible runs.  The phase extends the abortable
+        # prefix -- a round that loses its acceptor quorum aborts
+        # cleanly (T' has not run anywhere) -- and removes the
+        # coordinator as a single point of failure: if the origin dies
+        # mid-quorum, a surviving participant completes the round from
+        # the acceptors' logged state and the cluster finishes T' and
+        # the install over the live participants.
+        decided_origin, live = origin, set(participants)
+        if self._paxos is not None:
+            try:
+                try:
+                    self._paxos.decide(origin, trace.index, participants)
+                except UnreachableError:
+                    if not self.transport.is_down(origin):
+                        raise
+                    decided_origin = self._survivor_complete(
+                        trace.index, origin, participants, tx_name
+                    )
+            except (QuorumUnreachable, UnreachableError) as exc:
+                self.transport.abort(trace)
+                self.stats.timeouts += 1
+                raise Unavailable(
+                    f"cleanup of {tx_name} lost its decision quorum: {exc}",
+                    sites=frozenset(self.transport.down) or frozenset({origin}),
+                ) from exc
+            # The decision is durable: participants that died during
+            # the phase re-run T' deterministically at recovery.
+            live = set(participants) - self.transport.down
+            for down_sid in set(participants) - live:
+                self._missed_runs[down_sid] = (tx_name, dict(params or {}))
+        # Commit point: from here the round must run to completion.
+        # Without a NegotiationSpec, a crash discovered during the T'
+        # re-execution or install phases would leave participants
+        # divergent (T' commits site by site), so it is *not* converted
+        # into a clean Unavailable -- it escapes as UnreachableError
+        # with the round still open, which trips the transport's
+        # nesting invariant loudly on the next round.  The quorum
+        # decision above is how a deployment closes the window that
+        # used to need coordinator redo logging: once decided, any
+        # participant can finish the round.
         reference, written_union = self._cleanup_execute(
-            origin, tx_name, params, participants
+            decided_origin, tx_name, params, live
         )
         self._check_closure_covered(tx_name, written_union, participants)
         # Hooks (e.g. delta rebasing) only rewrite bases/deltas of
         # objects whose deltas were already dirty, and those factors
         # are recomputed anyway, so dirty | written covers everything.
         self._install_new_treaty(
-            dirty=dirty | written_union, participants=participants, origin=origin
+            dirty=dirty | written_union, participants=live, origin=decided_origin
         )
         self.transport.end(trace)
         self.stats.negotiations += 1
@@ -1225,7 +1328,7 @@ class HomeostasisCluster:
             log=reference,
             site=origin,
             synced=True,
-            participants=tuple(sorted(participants)),
+            participants=tuple(sorted(live)),
         )
 
     def try_submit(
@@ -1322,6 +1425,22 @@ class HomeostasisCluster:
                 else 0.0
             ),
         }
+
+    def fairness_stats(self) -> dict:
+        """Cluster-wide arbitration-fairness statistics.
+
+        Derived from the credit ledger: the active policy, contested
+        elections resolved, the longest consecutive-loss streak any
+        site suffered (the starvation measure the contention benchmark
+        gates), and per-site win/loss counts, streaks, live credit
+        balances, and wait percentiles (elections lost before finally
+        winning).  Recorded under either policy, so a priority-only
+        run and a credit run expose comparable numbers.  The
+        sequential kernel resolves every election unopposed; real
+        contention (and hence nonzero streaks) comes from the
+        concurrent runtime's vote phase.
+        """
+        return self.fairness.stats()
 
     def free_transactions(self) -> frozenset[str]:
         """Transactions whose *every* execution path at their home site
@@ -1427,6 +1546,24 @@ class HomeostasisCluster:
             raise ProtocolError(f"site {sid} is not down")
         server = self.sites[sid]
         replayed_round = server.replay_wal()
+        # A round this site coordinated (or participated in) may have
+        # been completed by a survivor while it was down: the decision
+        # was quorum-durable, so the live participants ran T' and
+        # installed the round's treaty without it.  Catch up
+        # deterministically -- the coordinator crash window is
+        # post-synchronization, so the replayed state *is* the
+        # synchronized state and re-running T' reproduces the round's
+        # writes exactly; then adopt the round's treaty entry (logged
+        # to the WAL like any install) before rejoining.
+        missed = self._missed_runs.pop(sid, None)
+        if missed is not None:
+            missed_tx, missed_params = missed
+            server.run_cleanup_transaction(missed_tx, missed_params)
+            if self.treaty_table is not None:
+                server.install_treaty(
+                    self.treaty_table.local_for(sid),
+                    round_number=self.treaty_table.round_number,
+                )
         self.transport.recover(sid)
         self.stats.recoveries += 1
 

@@ -26,6 +26,14 @@ tuple wins deterministically, and each loser concedes with a
 :class:`VoteReply` before aborting and re-running after the winner's
 negotiation installs new treaties.
 
+With a :class:`~repro.protocol.paxos_commit.NegotiationSpec`
+attached, the round's commit decision itself becomes non-blocking:
+the coordinator drives a Paxos Commit decision phase
+(:class:`Phase2a` accept requests to a 2F+1 acceptor set,
+:class:`Phase2b` acks back) between synchronization and the T'
+re-run, and a surviving participant can finish a round whose
+coordinator crashed mid-quorum (:class:`Complete`).
+
 Two message families sit outside the violation path: the adaptive
 subsystem's :class:`RebalanceRequest` (a proactive treaty refresh,
 no abort involved) and the fault-tolerant runtime's :class:`Rejoin`
@@ -138,8 +146,14 @@ class Vote(Message):
     the vote phase, after optimistic execution and before any state
     is exchanged.
 
-    ``(timestamp, src, txn_seq)`` is the sender's priority tuple;
-    among racing violators the lowest tuple wins.  A winner also
+    ``(timestamp, -credit, src, txn_seq)`` is the sender's priority
+    tuple; among racing violators the lowest tuple wins.  ``credit``
+    is the sender's accrued priority credit under the budgeted-credit
+    arbitration policy (always 0 under the legacy priority policy):
+    folding it in *ahead of the site id* closes the starvation hole
+    where equal-timestamp ties always favored low-numbered sites.
+    The credit rides inside the bid so the election stays a
+    deterministic function of the exchanged messages.  A winner also
     broadcasts its Vote to the non-contender participants of its
     negotiation, announcing which transaction the round re-runs.
     """
@@ -149,6 +163,8 @@ class Vote(Message):
     timestamp: int = 0
     #: cluster-wide transaction sequence number (final tiebreak)
     txn_seq: int = 0
+    #: accrued priority credit bid by the sender (credit policy only)
+    credit: int = 0
 
 
 @dataclass(frozen=True)
@@ -227,6 +243,71 @@ class Rejoin(Message):
 
 
 @dataclass(frozen=True)
+class Phase2a(Message):
+    """Paxos Commit accept-request: the coordinator (or a completing
+    survivor) asks an acceptor to make the round's verdicts durable.
+
+    **Sender**: the negotiation's coordinator at ballot 0; a surviving
+    participant at a higher ballot when completing a round whose
+    coordinator crashed.  **Receiver**: each remote member of the
+    round's 2F+1 acceptor set (acceptors are co-located on participant
+    sites; the sender's own acceptor accepts locally).  **When**: the
+    decision phase of a quorum-negotiated cleanup round, after state
+    synchronization and before T' re-executes -- the Gray & Lamport
+    replacement for the single-coordinator commit decision.
+
+    ``verdicts`` carries one ``(participant, prepared)`` pair per
+    paxos instance (every participant was prepared once the sync
+    completed).  An **empty** ``verdicts`` at a higher ballot is the
+    survivor's promise-and-report solicitation: the acceptor promises
+    the ballot and replies with the verdicts it accepted earlier (or
+    ``None`` if it never accepted), instead of accepting anything new.
+    The acceptor **logs every accept to its write-ahead log before
+    acking**, which is what makes a quorum of acks a durable decision.
+    """
+
+    round_number: int = 0
+    ballot: int = 0
+    verdicts: tuple[tuple[int, bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class Phase2b(Message):
+    """Paxos Commit accept-acknowledgement crossing back to the driver.
+
+    **Sender**: an acceptor that just logged a
+    :class:`Phase2a` accept (the kernel sends on the acceptor's
+    behalf, like a :class:`VoteReply`).  **Receiver**: the round's
+    coordinator -- or the completing survivor.  **When**: immediately
+    after the WAL append; the decision becomes durable once a quorum
+    of these arrive.  Because the *coordinator handles* these acks,
+    a fault plan can crash it mid-quorum -- the non-blocking window
+    this message family exists to survive.
+    """
+
+    round_number: int = 0
+    ballot: int = 0
+    acked: bool = True
+
+
+@dataclass(frozen=True)
+class Complete(Message):
+    """Survivor-completion announcement of a decided round.
+
+    **Sender**: the surviving participant that completed a round whose
+    coordinator crashed mid-decision.  **Receiver**: each other live
+    participant.  **When**: after the survivor re-drove the accepts at
+    its higher ballot and reached a quorum; the receiver logs a
+    ``round_complete`` record so recovery can see the round was
+    decided without its coordinator.
+    """
+
+    round_number: int = 0
+    committed: bool = True
+    tx_name: str = ""
+
+
+@dataclass(frozen=True)
 class Prepare(Message):
     """2PC phase one: write set shipped to a cohort replica.
 
@@ -269,6 +350,9 @@ class MessageStats:
     rebalance_requests: int = 0  # proactive treaty-refresh announcements
     rejoin_messages: int = 0  # recovered-site re-entry announcements
     cleanup_messages: int = 0  # cleanup-run (re-execute T') messages
+    phase2a_messages: int = 0  # Paxos Commit accept requests / solicitations
+    phase2b_messages: int = 0  # Paxos Commit accept acknowledgements
+    complete_messages: int = 0  # survivor-completion announcements
     prepare_messages: int = 0  # 2PC phase-one messages
     decision_messages: int = 0  # 2PC phase-two messages
     negotiations: int = 0  # treaty negotiation events (round ends)
@@ -281,6 +365,9 @@ class MessageStats:
         RebalanceRequest: "rebalance_requests",
         Rejoin: "rejoin_messages",
         CleanupRun: "cleanup_messages",
+        Phase2a: "phase2a_messages",
+        Phase2b: "phase2b_messages",
+        Complete: "complete_messages",
         Prepare: "prepare_messages",
         Decision: "decision_messages",
     }
@@ -294,6 +381,9 @@ class MessageStats:
             + self.rebalance_requests
             + self.rejoin_messages
             + self.cleanup_messages
+            + self.phase2a_messages
+            + self.phase2b_messages
+            + self.complete_messages
             + self.prepare_messages
             + self.decision_messages
         )

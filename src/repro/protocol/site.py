@@ -53,7 +53,10 @@ from repro.logic.linear import LinearConstraint
 from repro.protocol.catalog import StoredProcedureCatalog
 from repro.protocol.messages import (
     CleanupRun,
+    Complete,
     Message,
+    Phase2a,
+    Phase2b,
     RebalanceRequest,
     Rejoin,
     SyncBroadcast,
@@ -161,6 +164,16 @@ class SiteServer:
     #: execution landed on, plus the number of treaty clauses left in
     #: scope for it (what the checks-per-commit benchmark gate reads)
     check_stats: dict[str, int] = field(default_factory=_fresh_check_stats)
+    #: Paxos Commit acceptor state, keyed by decision-round instance
+    #: id: the highest ballot promised, and the (ballot, verdicts)
+    #: last accepted.  Volatile mirrors of the WAL's ``paxos_promise``
+    #: / ``paxos_accept`` records -- a crash loses the dicts, replay
+    #: rebuilds them, so a restarted acceptor can never accept behind
+    #: a promise it already made durable.
+    paxos_promised: dict[int, int] = field(default_factory=dict)
+    paxos_accepted: dict[int, tuple[int, tuple[tuple[int, bool], ...]]] = field(
+        default_factory=dict
+    )
 
     def install_treaty(
         self, treaty: LocalTreaty, round_number: int = -1, log: bool = True
@@ -211,6 +224,7 @@ class SiteServer:
         again reinstalls the same record.  Returns the replayed round
         number (-1 for a fresh log).
         """
+        self._replay_paxos_state()
         record = self.wal.last_treaty_install()
         if record is None:
             self.local_treaty = None
@@ -249,6 +263,73 @@ class SiteServer:
         if self.escrow is not None:
             self.escrow.resync(self.engine.peek, self.engine.epoch)
         return self.treaty_round
+
+    def _replay_paxos_state(self) -> None:
+        """Rebuild the acceptor dicts from the durable log (the records
+        were appended before the corresponding acks left the site, so
+        the replayed state is at least as strong as anything a peer
+        ever observed)."""
+        promised: dict[int, int] = {}
+        accepted: dict[int, tuple[int, tuple[tuple[int, bool], ...]]] = {}
+        for record in self.wal.records():
+            kind = record.get("kind")
+            if kind == "paxos_promise":
+                rnd = record["round"]
+                promised[rnd] = max(promised.get(rnd, -1), record["ballot"])
+            elif kind == "paxos_accept":
+                rnd = record["round"]
+                promised[rnd] = max(promised.get(rnd, -1), record["ballot"])
+                accepted[rnd] = (
+                    record["ballot"],
+                    tuple((int(p), bool(ok)) for p, ok in record["verdicts"]),
+                )
+        self.paxos_promised = promised
+        self.paxos_accepted = accepted
+
+    # -- Paxos Commit acceptor state machine ---------------------------------------
+
+    def paxos_accept(
+        self,
+        round_number: int,
+        ballot: int,
+        verdicts: tuple[tuple[int, bool], ...],
+    ) -> bool:
+        """Phase 2 accept: adopt the proposed verdict vector unless a
+        higher ballot was already promised.  The accept is **logged to
+        the WAL before it is acknowledged** -- that ordering is the
+        whole point of Paxos Commit: once the proposer counts this
+        ack toward its quorum, no crash of this site can un-log the
+        verdicts a survivor would need to finish the round."""
+        if ballot < self.paxos_promised.get(round_number, -1):
+            return False
+        self.wal.append(
+            {
+                "kind": "paxos_accept",
+                "round": round_number,
+                "ballot": ballot,
+                "verdicts": [[p, ok] for p, ok in verdicts],
+            }
+        )
+        self.paxos_promised[round_number] = ballot
+        self.paxos_accepted[round_number] = (ballot, tuple(verdicts))
+        return True
+
+    def paxos_promise(
+        self, round_number: int, ballot: int
+    ) -> tuple[tuple[int, bool], ...] | None:
+        """Phase 1 promise + report (a survivor's empty-verdict
+        solicitation): promise the ballot, logged before the reply,
+        and report the verdicts this acceptor last accepted (None if
+        it never accepted -- or if the promise is refused because a
+        higher ballot holds)."""
+        if ballot < self.paxos_promised.get(round_number, -1):
+            return None
+        self.wal.append(
+            {"kind": "paxos_promise", "round": round_number, "ballot": ballot}
+        )
+        self.paxos_promised[round_number] = ballot
+        accepted = self.paxos_accepted.get(round_number)
+        return accepted[1] if accepted is not None else None
 
     # -- escrow fast-path plumbing -------------------------------------------------
 
@@ -528,7 +609,15 @@ class SiteServer:
           cluster (the state refresh arrives as the rejoin round's
           SyncBroadcast exchange);
         - ``CleanupRun`` executes T' in full and replies with the
-          (log, written) pair the coordinator cross-checks.
+          (log, written) pair the coordinator cross-checks;
+        - ``Phase2a`` drives the Paxos Commit acceptor: non-empty
+          verdicts are an accept (WAL-logged before the ack), empty
+          verdicts are a survivor's promise + report solicitation;
+        - ``Phase2b`` is the quorum ack crossing back to the decision
+          driver (this handler runs at the *coordinator*, which is
+          what makes a mid-quorum coordinator crash schedulable);
+        - ``Complete`` records a survivor-announced round completion
+          in the WAL.
         """
         if isinstance(msg, SyncBroadcast):
             for name, value in msg.updates:
@@ -560,6 +649,22 @@ class SiteServer:
             return True
         if isinstance(msg, CleanupRun):
             return self.run_cleanup_transaction(msg.tx_name, dict(msg.params))
+        if isinstance(msg, Phase2a):
+            if msg.verdicts:
+                return self.paxos_accept(msg.round_number, msg.ballot, msg.verdicts)
+            return self.paxos_promise(msg.round_number, msg.ballot)
+        if isinstance(msg, Phase2b):
+            return True
+        if isinstance(msg, Complete):
+            self.wal.append(
+                {
+                    "kind": "round_complete",
+                    "round": msg.round_number,
+                    "committed": msg.committed,
+                    "tx": msg.tx_name,
+                }
+            )
+            return True
         raise TypeError(f"site {self.site_id}: unhandled message {msg!r}")
 
     def run_cleanup_transaction(

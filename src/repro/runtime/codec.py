@@ -40,8 +40,11 @@ from typing import Any, Mapping
 
 from repro.protocol.messages import (
     CleanupRun,
+    Complete,
     Decision,
     Message,
+    Phase2a,
+    Phase2b,
     Prepare,
     RebalanceRequest,
     Rejoin,
@@ -90,6 +93,9 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
         RebalanceRequest,
         CleanupRun,
         Rejoin,
+        Phase2a,
+        Phase2b,
+        Complete,
         Prepare,
         Decision,
     )
@@ -100,6 +106,9 @@ _MESSAGE_TYPES: dict[str, type[Message]] = {
 _PAIR_TUPLE_FIELDS = {"updates", "params"}
 #: Message fields carrying flat ``tuple[str, ...]`` payloads.
 _FLAT_TUPLE_FIELDS = {"objects"}
+#: Message fields carrying ``tuple[tuple[int, bool], ...]`` payloads
+#: (Paxos Commit per-participant verdicts).
+_VERDICT_TUPLE_FIELDS = {"verdicts"}
 
 
 # -- framing -------------------------------------------------------------------
@@ -170,6 +179,8 @@ def message_to_wire(msg: Message) -> dict[str, Any]:
             value = [[k, v] for k, v in value]
         elif field_name in _FLAT_TUPLE_FIELDS:
             value = list(value)
+        elif field_name in _VERDICT_TUPLE_FIELDS:
+            value = [[p, ok] for p, ok in value]
         payload[field_name] = value
     return payload
 
@@ -193,6 +204,8 @@ def message_from_wire(payload: Mapping[str, Any]) -> Message:
                 value = tuple((str(k), int(v)) for k, v in value)
             elif field_name in _FLAT_TUPLE_FIELDS:
                 value = tuple(str(v) for v in value)
+            elif field_name in _VERDICT_TUPLE_FIELDS:
+                value = tuple((int(p), bool(ok)) for p, ok in value)
             kwargs[field_name] = value
     except (KeyError, TypeError, ValueError) as exc:
         raise CodecError(f"malformed {tag} payload: {exc!r}") from exc

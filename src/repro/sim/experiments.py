@@ -14,9 +14,11 @@ preserved under scaling.
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 
 from repro.protocol.homeostasis import AdaptiveSettings
+from repro.protocol.paxos_commit import NegotiationSpec
 from repro.sim.metrics import SimResult
 from repro.treaty.optimize import demand_split
 from repro.sim.network import rtt_matrix_for
@@ -177,6 +179,8 @@ def run_contention(
     cost_factor: int = 3,
     max_txns: int = 2_000,
     seed: int = 0,
+    skew: float = 0.0,
+    negotiation: NegotiationSpec | None = None,
     config_overrides: dict | None = None,
 ) -> SimResult:
     """One racing-violator point under the concurrent runtime.
@@ -190,6 +194,15 @@ def run_contention(
     violators) or widening ``window_ms``.  With ``groups`` given the
     item space is geo-partitioned (Table 1 RTTs) and disjoint groups'
     negotiations proceed in parallel waves.
+
+    ``skew`` distributes the closed-loop client population over
+    replicas by Zipf(``skew``) weights -- a hot low-id site then races
+    in (and, under the legacy tie-break, wins) most elections, the
+    regime where arbitration fairness separates the policies.
+    ``negotiation`` attaches a :class:`NegotiationSpec`: the commit
+    decision runs through the Paxos Commit quorum (priced as one extra
+    scoped round trip) and ``policy="credit"`` turns on the budgeted
+    priority credit; ``SimResult.fairness`` then reports the ledger.
     """
     if mode not in _STRATEGY_FOR_MODE:
         raise ValueError(f"contention experiment supports homeo/opt, not {mode!r}")
@@ -205,7 +218,7 @@ def run_contention(
         )
         cluster = workload.build_concurrent(
             strategy=strategy, lookahead=lookahead, cost_factor=cost_factor,
-            seed=seed,
+            seed=seed, negotiation=negotiation,
         )
         network = {"rtt_matrix": rtt_matrix_for(num_replicas)}
 
@@ -225,7 +238,7 @@ def run_contention(
         )
         cluster = workload.build_concurrent(
             strategy=strategy, lookahead=lookahead, cost_factor=cost_factor,
-            seed=seed,
+            seed=seed, negotiation=negotiation,
         )
         network = {"rtt_ms": rtt_ms}
 
@@ -233,10 +246,16 @@ def run_contention(
             req = workload.next_request(rng, site=replica)
             return SimRequest(req.tx_name, req.params, req.items, family="Buy")
 
+    clients: int | tuple[int, ...] = clients_per_replica
+    if skew > 0.0:
+        clients = skewed_client_counts(
+            clients_per_replica * num_replicas,
+            zipf_weights(num_replicas, skew),
+        )
     config = SimConfig(
         mode=mode,
         num_replicas=num_replicas,
-        clients_per_replica=clients_per_replica,
+        clients_per_replica=clients,
         window_ms=window_ms,
         solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
         max_txns=max_txns,
@@ -498,6 +517,89 @@ def run_faults(
     if config_overrides:
         config = replace(config, **config_overrides)
     return simulate(config, cluster, request_fn)
+
+
+def run_winner_crash(
+    num_sites: int = 3,
+    seed: int = 0,
+    policy: str = "priority",
+) -> dict:
+    """The winner-crash fault scenario: a survivor completes the round.
+
+    Builds a validate-mode sequential cluster with a
+    :class:`NegotiationSpec` attached, locates a treaty-violating
+    request with a fault-free twin (both clusters driven through the
+    identical request prefix), then crash-stops the negotiation's
+    *origin* right after the first ``Phase2b`` ack -- mid-quorum, with
+    the install decision already durable at one acceptor but the round
+    incomplete.  Under the legacy single-coordinator decision this is
+    exactly the window where 2PC blocks; under Paxos Commit a
+    surviving participant solicits the acceptors' WAL state, re-drives
+    the accepted verdicts to a quorum at ballot 1, and finishes the
+    round without the origin.  The crashed origin then recovers (WAL
+    replay + missed cleanup re-run + rejoin, with the validate-mode
+    recovered-treaty/H1/H2 oracles asserting along the way) and
+    commits again.
+
+    Returns the flat metric dict the benchmark harness folds into its
+    fault gate -- everything in it must hold for the scenario to count
+    as passed.
+    """
+    from repro.protocol.faults import FaultPlan
+
+    spec = NegotiationSpec(policy=policy)
+
+    def build(validate: bool, negotiation: NegotiationSpec | None):
+        workload = MicroWorkload(
+            num_items=18, refill=12, num_sites=num_sites, initial_qty="refill"
+        )
+        cluster = workload.build_homeostasis(
+            strategy="equal-split", validate=validate, negotiation=negotiation
+        )
+        return workload, cluster
+
+    twin_workload, twin = build(False, None)
+    workload, cluster = build(True, spec)
+    rng = random.Random(seed + 1)
+    violating = None
+    for _ in range(600):
+        req = twin_workload.next_request(rng, site=rng.randrange(num_sites))
+        if twin.submit(req.tx_name, req.params).synced:
+            violating = req
+            break
+        cluster.submit(req.tx_name, req.params)
+    if violating is None:  # pragma: no cover - deterministic workload
+        raise RuntimeError("no treaty-violating request found")
+
+    # The origin handles one SyncBroadcast from each peer during the
+    # round before any Phase2b ack reaches it; +1 more lands the crash
+    # right after the first acceptor's accept is WAL-durable.
+    origin = violating.site
+    handled = cluster.transport._handled.get(origin, 0)
+    cluster.transport.faults = FaultPlan(
+        crash_after={origin: handled + (num_sites - 1) + 1}
+    )
+    result = cluster.submit(violating.tx_name, violating.params)
+    stats = cluster.transport.message_stats()
+    survivor_done = {
+        "committed": bool(result.synced),
+        "origin_down_at_completion": cluster.transport.is_down(origin),
+        "origin_excluded": origin not in result.participants,
+        "survivors": len(result.participants),
+        "complete_messages": stats.complete_messages,
+        "phase2a_messages": stats.phase2a_messages,
+        "phase2b_messages": stats.phase2b_messages,
+    }
+
+    # Recovery: WAL replay, the missed cleanup re-run, the rejoin
+    # round -- validate mode asserts the recovered treaty equals the
+    # table entry.  Then the crashed site commits again.
+    cluster.transport.faults = None
+    cluster.recover_site(origin)
+    post = cluster.submit(violating.tx_name, violating.params)
+    survivor_done["recovered_clean"] = not cluster._missed_runs
+    survivor_done["post_recovery_committed"] = post.status.name == "COMMITTED"
+    return survivor_done
 
 
 def build_tpcc_cluster(workload: TpccWorkload, mode: str, lookahead: int,

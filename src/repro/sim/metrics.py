@@ -132,6 +132,11 @@ class SimResult:
     #: ``HomeostasisCluster.classifier_stats``: FREE-path bypasses and
     #: clauses-in-scope per commit; empty for kernels without it)
     classifier: dict = field(default_factory=dict)
+    #: run-level arbitration fairness counters (from
+    #: ``HomeostasisCluster.fairness_stats``: elections, per-site
+    #: win/loss streaks, credit balances, wait percentiles; empty for
+    #: kernels without the credit ledger)
+    fairness: dict = field(default_factory=dict)
 
     # -- derived metrics --------------------------------------------------------
 

@@ -147,6 +147,15 @@ class SimConfig:
     #: discovering the needed site is unreachable (vote/sync timeout)
     #: before giving up and re-entering the closed loop
     sync_timeout_ms: float = 500.0
+    #: arbitration clock granularity for the windowed runtime: vote
+    #: timestamps are quantized to this many milliseconds, so racing
+    #: violators whose arrivals fall inside one quantum carry *equal*
+    #: timestamps and the election is decided by the tie-break chain
+    #: (credit, then site id).  0 keeps microsecond-distinct arrival
+    #: timestamps, where ties -- and therefore the arbitration policy
+    #: -- almost never matter.  Model of coarse per-site clocks; set it
+    #: to ``window_ms`` to make every within-window race a tie.
+    clock_quantum_ms: float = 0.0
 
     def matrix(self) -> list[list[float]]:
         if self.rtt_matrix is not None:
@@ -213,6 +222,34 @@ def _collect_classifier(result: SimResult, cluster) -> None:
     stats = getattr(cluster, "classifier_stats", None)
     if stats is not None:
         result.classifier = stats()
+
+
+def _collect_fairness(result: SimResult, cluster) -> None:
+    """Fold the kernel's arbitration-fairness counters into the result
+    (kernels without the credit ledger report nothing)."""
+    stats = getattr(cluster, "fairness_stats", None)
+    if stats is not None:
+        result.fairness = stats()
+
+
+def _quorum_round_ms(matrix: list[list[float]], cluster, participants) -> float:
+    """Extra per-negotiation cost of the Paxos Commit decision round.
+
+    With a :class:`~repro.protocol.paxos_commit.NegotiationSpec`
+    attached, every won negotiation pays one more scoped round trip:
+    the origin's Phase2a fan-out to the acceptor set and the Phase2b
+    acks back.  The acceptors are co-located on the lowest participant
+    sites, so the round is priced at the slowest RTT edge *inside the
+    acceptor set* -- strictly no wider than the sync barrier already
+    paid.  Legacy clusters (no spec) price zero here.
+    """
+    spec = getattr(cluster, "negotiation", None)
+    if spec is None or not participants:
+        return 0.0
+    acceptors = tuple(sorted(participants)[: spec.acceptors])
+    if len(acceptors) < 2:
+        return 0.0
+    return participants_rtt(matrix, acceptors)
 
 
 def _free_transactions(cluster) -> frozenset:
@@ -352,6 +389,7 @@ def simulate(
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
     _collect_escrow(result, cluster)
     _collect_classifier(result, cluster)
+    _collect_fairness(result, cluster)
     return result
 
 
@@ -438,9 +476,15 @@ def _simulate_windows(
                              start_exec, local_end)
             )
 
+        quantum = config.clock_quantum_ms
         window = cluster.submit_window(
             [(e.request.tx_name, e.request.params) for e in entries],
-            timestamps=[round(e.ready * 1000.0) for e in entries],
+            timestamps=[
+                round((e.ready // quantum) * quantum * 1000.0)
+                if quantum > 0.0
+                else round(e.ready * 1000.0)
+                for e in entries
+            ],
         )
 
         finish = [e.local_end for e in entries]
@@ -465,6 +509,10 @@ def _simulate_windows(
                 comm_ms = negotiation_cost_ms(
                     matrix, grp.participants, fallback_ms=sync_cost_ms
                 )
+                if not grp.rebalance:
+                    # Paxos Commit decision round (Phase2a/Phase2b over
+                    # the acceptor set); 0 for legacy clusters.
+                    comm_ms += _quorum_round_ms(matrix, cluster, grp.participants)
                 neg_end = t0 + vote_ms + comm_ms + solver
                 w = grp.winner
                 wait[w] += t0 - finish[w]
@@ -544,6 +592,7 @@ def _simulate_windows(
     result.measured_from_ms = min(config.warmup_ms, 0.1 * now)
     _collect_escrow(result, cluster)
     _collect_classifier(result, cluster)
+    _collect_fairness(result, cluster)
     return result
 
 
@@ -663,7 +712,9 @@ def _run_protected(
 
     solver = config.solver_ms if config.mode == "homeo" else 0.0
     participants = tuple(getattr(outcome, "participants", ()) or ())
-    comm = negotiation_cost_ms(matrix, participants, fallback_ms=sync_cost_ms)
+    comm = negotiation_cost_ms(
+        matrix, participants, fallback_ms=sync_cost_ms
+    ) + _quorum_round_ms(matrix, cluster, participants)
     negotiation_start = local_end
     for k in request.lock_keys:
         negotiation_start = max(negotiation_start, lock_free.get(("neg", k), 0.0))

@@ -31,7 +31,7 @@ from repro.analysis.symbolic import SymbolicTable, build_symbolic_table
 from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
 from repro.protocol.concurrent import ConcurrentCluster
-from repro.protocol.config import ClusterSpec
+from repro.protocol.config import ClusterSpec, NegotiationSpec
 from repro.protocol.homeostasis import (
     AdaptiveSettings,
     HomeostasisCluster,
@@ -153,6 +153,7 @@ class GeoMicroWorkload:
         seed: int = 0,
         validate: bool = False,
         adaptive: AdaptiveSettings | None = None,
+        negotiation: NegotiationSpec | None = None,
     ) -> ClusterSpec:
         """The workload as a :class:`ClusterSpec` (feed
         :func:`~repro.protocol.config.build_cluster` with any kernel)."""
@@ -175,6 +176,7 @@ class GeoMicroWorkload:
             strategy=strategy,
             optimizer=optimizer,
             adaptive=adaptive,
+            negotiation=negotiation,
             validate=validate,
         )
 
@@ -186,6 +188,7 @@ class GeoMicroWorkload:
         seed: int = 0,
         validate: bool = False,
         adaptive: AdaptiveSettings | None = None,
+        negotiation: NegotiationSpec | None = None,
         cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         spec = self.cluster_spec(
@@ -195,6 +198,7 @@ class GeoMicroWorkload:
             seed=seed,
             validate=validate,
             adaptive=adaptive,
+            negotiation=negotiation,
         )
         return cluster_cls._from_spec(spec)
 

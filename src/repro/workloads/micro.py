@@ -30,7 +30,7 @@ from repro.lang.ast import Transaction
 from repro.lang.parser import parse_transaction
 from repro.protocol.baselines import LocalCluster, TwoPhaseCommitCluster
 from repro.protocol.concurrent import ConcurrentCluster
-from repro.protocol.config import ClusterSpec
+from repro.protocol.config import ClusterSpec, NegotiationSpec
 from repro.protocol.homeostasis import (
     AdaptiveSettings,
     HomeostasisCluster,
@@ -219,6 +219,7 @@ class MicroWorkload:
         seed: int = 0,
         validate: bool = False,
         adaptive: AdaptiveSettings | None = None,
+        negotiation: NegotiationSpec | None = None,
     ) -> ClusterSpec:
         """The workload as a :class:`ClusterSpec` (feed
         :func:`~repro.protocol.config.build_cluster` with any kernel)."""
@@ -241,6 +242,7 @@ class MicroWorkload:
             strategy=strategy,
             optimizer=optimizer,
             adaptive=adaptive,
+            negotiation=negotiation,
             validate=validate,
         )
 
@@ -252,6 +254,7 @@ class MicroWorkload:
         seed: int = 0,
         validate: bool = False,
         adaptive: AdaptiveSettings | None = None,
+        negotiation: NegotiationSpec | None = None,
         cluster_cls: type[HomeostasisCluster] = HomeostasisCluster,
     ) -> HomeostasisCluster:
         spec = self.cluster_spec(
@@ -261,6 +264,7 @@ class MicroWorkload:
             seed=seed,
             validate=validate,
             adaptive=adaptive,
+            negotiation=negotiation,
         )
         return cluster_cls._from_spec(spec)
 

@@ -105,6 +105,17 @@ class TestDeprecationShim:
         result = cluster.submit_window([("Buy@s0", {"item": 0})])
         assert result.outcomes[0].status is Outcome.COMMITTED
 
+    def test_old_constructor_accepts_negotiation_keyword(self):
+        from repro.protocol.paxos_commit import NegotiationSpec
+
+        with pytest.warns(DeprecationWarning, match="build_cluster"):
+            cluster = HomeostasisCluster(
+                negotiation=NegotiationSpec(policy="credit"),
+                **self._legacy_kwargs(),
+            )
+        assert cluster.fairness_stats()["policy"] == "credit"
+        assert cluster.submit("Buy@s0", {"item": 0}).status is Outcome.COMMITTED
+
     def test_shimmed_and_spec_built_clusters_agree(self):
         with pytest.warns(DeprecationWarning):
             legacy = HomeostasisCluster(**self._legacy_kwargs())

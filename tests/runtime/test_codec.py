@@ -23,7 +23,10 @@ from repro.logic.linear import LinearConstraint, LinearExpr
 from repro.logic.terms import ObjT
 from repro.protocol.messages import (
     CleanupRun,
+    Complete,
     Decision,
+    Phase2a,
+    Phase2b,
     Prepare,
     RebalanceRequest,
     Rejoin,
@@ -77,6 +80,16 @@ SAMPLE_MESSAGES = [
     Rejoin(src=3, dst=1, wal_round=9),
     Prepare(src=0, dst=1, updates=(("x", 10), ("y", -1))),
     Decision(src=0, dst=1, commit=False),
+    Phase2a(
+        src=1,
+        dst=0,
+        round_number=12,
+        ballot=0,
+        verdicts=((0, True), (1, True), (2, False)),
+    ),
+    Phase2a(src=2, dst=0, round_number=12, ballot=1, verdicts=()),
+    Phase2b(src=0, dst=1, round_number=12, ballot=1, acked=True),
+    Complete(src=2, dst=0, round_number=12, committed=True, tx_name="Buy@s1"),
 ]
 
 

@@ -22,12 +22,14 @@ class TestFacade:
     def test_core_surface_present(self):
         for name in (
             "ClusterSpec",
+            "NegotiationSpec",
             "build_cluster",
             "Outcome",
             "MicroWorkload",
             "GeoMicroWorkload",
             "TpccWorkload",
             "run_simulation",
+            "run_contention",
             "analyze",
             "parse_transaction",
         ):
@@ -48,6 +50,20 @@ class TestFacade:
         )
         result = cluster.submit("Buy@s0", {"item": 1})
         assert result.status is repro.Outcome.COMMITTED
+
+    def test_negotiation_spec_threads_through_build_cluster(self):
+        workload = repro.MicroWorkload(num_items=4, refill=4, num_sites=3)
+        spec = workload.cluster_spec(
+            strategy="equal-split",
+            negotiation=repro.NegotiationSpec(policy="credit"),
+        )
+        cluster = repro.build_cluster(spec)
+        assert cluster.submit("Buy@s0", {"item": 1}).status is (
+            repro.Outcome.COMMITTED
+        )
+        stats = cluster.fairness_stats()
+        assert stats["policy"] == "credit"
+        assert stats["elections"] == 0  # sequential driver: unopposed
 
 
 class TestExamplesUseTheFacade:
