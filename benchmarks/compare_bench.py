@@ -56,6 +56,19 @@ Gates (per scenario):
   not rise above the baseline: a path-sensitivity regression that
   sends partitioned checks back to whole-treaty evaluation should
   fail loudly;
+- scenarios carrying a ``flashsale_gate`` block must show the
+  deterministic sell-out audit clean: the hot SKU ends exactly at
+  zero after 3x demand -- sold out, never oversold; the scenario's
+  ``adaptive_gate`` row additionally requires adaptive strictly below
+  static on sync ratio at the hot point;
+- scenarios carrying a ``banking_gate`` block must conserve money
+  exactly (final total equals initial funds plus deposits) with no
+  account ending negative;
+- scenarios carrying a ``quota_gate`` block must show the hammered
+  tenant reaching its limit exactly and never overrunning it; the
+  quota scenario's record-level ``checks_per_commit`` is additionally
+  gated against the baseline (150 independent tenant treaties make it
+  the canary for treaty-table / compiled-check-cache bloat);
 - records carrying an ``async_gate`` block (the async_loopback
   scenario, produced by ``bench_async_loopback.py`` rather than the
   harness) are judged by **absolute floors only** -- their
@@ -116,6 +129,12 @@ CLASSIFIER_FREE_SCENARIOS = ("micro",)
 #: checks shrink the scope; micro's two-path Buy has nothing to shrink)
 CHECKS_PER_COMMIT_WORKLOADS = ("tpcc",)
 
+#: scenarios whose *record-level* checks_per_commit is gated against
+#: the baseline (quota runs 150 independent tenant treaties, so a
+#: treaty-table or compiled-check-cache regression shows up directly
+#: as clause-scope bloat per commit)
+CHECKS_PER_COMMIT_SCENARIOS = ("quota",)
+
 
 def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[str]:
     """Gate failures for one scenario's deterministic metrics.
@@ -174,10 +193,22 @@ def compare_scenario(baseline: dict, current: dict, threshold: float) -> list[st
                 f"{cur_free:.4f} (FREE paths falling back to treaty checks)"
             )
 
+    if name in CHECKS_PER_COMMIT_SCENARIOS:
+        base_cpc = baseline.get("checks_per_commit", 0.0)
+        cur_cpc = current.get("checks_per_commit", 0.0)
+        if cur_cpc > base_cpc:
+            failures.append(
+                f"{name}: checks per commit rose {base_cpc:.2f} -> "
+                f"{cur_cpc:.2f} (per-commit treaty clause scope bloated)"
+            )
+
     failures.extend(checks_per_commit_failures(name, baseline, current))
     failures.extend(adaptive_gate_failures(name, current))
     failures.extend(fault_gate_failures(name, current))
     failures.extend(fairness_gate_failures(name, current))
+    failures.extend(flashsale_gate_failures(name, current))
+    failures.extend(banking_gate_failures(name, current))
+    failures.extend(quota_gate_failures(name, current))
     return failures
 
 
@@ -339,6 +370,90 @@ def fairness_gate_failures(name: str, current: dict) -> list[str]:
     return failures
 
 
+def flashsale_gate_failures(name: str, current: dict) -> list[str]:
+    """The sell-out audit over a record's ``flashsale_gate`` block
+    (empty for scenarios without one).  Driving 3x the hot stock in
+    checkouts is deterministic under the fixed seed: the hot SKU must
+    end exactly at zero -- sold out, never oversold -- whatever the
+    treaty splits and refreshes did along the way."""
+    gate = current.get("flashsale_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    if not gate.get("sold_out"):
+        failures.append(
+            f"{name}: hot SKU did not sell out ({gate.get('hot_remaining')} "
+            f"of {gate.get('hot_stock')} left after 3x demand)"
+        )
+    if gate.get("oversold_units", 0) != 0:
+        failures.append(
+            f"{name}: oversold {gate['oversold_units']} unit(s) (the stock "
+            f"treaty admitted a decrement below zero)"
+        )
+    if gate.get("min_stock", 0) < 0:
+        failures.append(
+            f"{name}: a SKU ended at {gate['min_stock']} (negative stock "
+            f"on final state)"
+        )
+    return failures
+
+
+def banking_gate_failures(name: str, current: dict) -> list[str]:
+    """The money-conservation audit over a record's ``banking_gate``
+    block (empty for scenarios without one).  Deterministic under the
+    fixed seed: the final total must equal initial funds plus
+    deposits exactly, and no account may end negative."""
+    gate = current.get("banking_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    if not gate.get("money_conserved"):
+        problems = gate.get("conservation_problems") or []
+        shown = "; ".join(str(p) for p in problems[:3]) or "no detail"
+        failures.append(f"{name}: money not conserved ({shown})")
+    if gate.get("final_total") != gate.get("expected_total"):
+        failures.append(
+            f"{name}: final total {gate.get('final_total')} != expected "
+            f"{gate.get('expected_total')} (transfers created or destroyed "
+            f"money)"
+        )
+    if gate.get("min_balance", 0) < 0:
+        failures.append(
+            f"{name}: an account ended at {gate['min_balance']} (the "
+            f"non-negative-balance treaty was violated)"
+        )
+    return failures
+
+
+def quota_gate_failures(name: str, current: dict) -> list[str]:
+    """The saturation audit over a record's ``quota_gate`` block
+    (empty for scenarios without one).  Deterministic under the fixed
+    seed: the hammered tenant must reach its limit exactly -- the
+    treaty must neither admit an overrun nor refuse admissible
+    hits short of the ceiling."""
+    gate = current.get("quota_gate")
+    if not gate:
+        return []
+    failures: list[str] = []
+    if gate.get("overrun_violations", 0) != 0 or not gate.get("within_limits"):
+        failures.append(
+            f"{name}: {gate.get('overrun_violations')} tenant(s) overran "
+            f"the limit (rate-limiter treaty admitted excess hits)"
+        )
+    if gate.get("max_used") != gate.get("limit"):
+        failures.append(
+            f"{name}: hammered tenant peaked at {gate.get('max_used')} of "
+            f"limit {gate.get('limit')} (saturation never reached -- the "
+            f"audit is not exercising the ceiling)"
+        )
+    if gate.get("min_used", 0) < 0:
+        failures.append(
+            f"{name}: a tenant's counter ended at {gate['min_used']} "
+            f"(negative usage on final state)"
+        )
+    return failures
+
+
 def async_gate_failures(name: str, current: dict) -> list[str]:
     """Absolute floors for a record's ``async_gate`` block (empty for
     scenarios without one).  The async_loopback record measures the
@@ -493,6 +608,31 @@ def main(argv: list[str] | None = None) -> int:
                     f"{crash.get('phase2b_messages', 0)} Phase2b, "
                     f"{crash.get('complete_messages', 0)} Complete)"
                 )
+        sgate = current.get("flashsale_gate")
+        if sgate:
+            print(
+                f"    flashsale_gate: hot SKU {sgate.get('hot_remaining')}/"
+                f"{sgate.get('hot_stock')} left, "
+                f"{sgate.get('oversold_units')} oversold, min stock "
+                f"{sgate.get('min_stock')} (audit sync ratio "
+                f"{sgate.get('sync_ratio')})"
+            )
+        bgate = current.get("banking_gate")
+        if bgate:
+            print(
+                f"    banking_gate: total {bgate.get('final_total')} vs "
+                f"expected {bgate.get('expected_total')}, min balance "
+                f"{bgate.get('min_balance')} over {bgate.get('accounts')} "
+                f"account(s) (audit sync ratio {bgate.get('sync_ratio')})"
+            )
+        qgate = current.get("quota_gate")
+        if qgate:
+            print(
+                f"    quota_gate: hammered tenant {qgate.get('max_used')}/"
+                f"{qgate.get('limit')}, {qgate.get('overrun_violations')} "
+                f"overrun(s) over {qgate.get('tenants')} tenant(s) (audit "
+                f"sync ratio {qgate.get('sync_ratio')})"
+            )
         pgate = current.get("fairness_gate")
         if pgate:
             pri = pgate.get("priority") or {}

@@ -116,6 +116,31 @@ Schema (``schema_version`` 3)::
           "worst_site_p99_wait": float,        # elections-waited p99
           "per_site_max_losses": {str: int}
         }
+      },
+      # flashsale only: the deterministic sell-out audit (3x the hot
+      # stock in checkouts must end exactly at zero), gated by
+      # compare_bench.py; the scenario also carries an adaptive_gate
+      # block with a "flashsale" workload row
+      "flashsale_gate": {
+        "hot_stock": int, "hot_remaining": int, "sold_out": bool,
+        "oversold_units": int, "min_stock": int, "sync_ratio": float
+      },
+      # banking only: the deterministic money-conservation audit,
+      # gated by compare_bench.py (conserved total, no negative
+      # balance on final state)
+      "banking_gate": {
+        "accounts": int, "requests": int, "deposited": int,
+        "expected_total": int, "final_total": int, "min_balance": int,
+        "money_conserved": bool, "conservation_problems": [str],
+        "sync_ratio": float
+      },
+      # quota only: the deterministic saturation audit (a hammered
+      # tenant must reach its limit and never pass it), gated by
+      # compare_bench.py
+      "quota_gate": {
+        "tenants": int, "limit": int, "requests": int,
+        "max_used": int, "min_used": int, "overrun_violations": int,
+        "within_limits": bool, "sync_ratio": float
       }
     }
 
@@ -145,10 +170,16 @@ from repro.logic.compile import (  # noqa: E402
 from repro.protocol.paxos_commit import NegotiationSpec  # noqa: E402
 from repro.sim.experiments import (  # noqa: E402
     run_adaptive_skew,
+    run_banking,
+    run_banking_conservation,
     run_contention,
     run_faults,
+    run_flashsale,
+    run_flashsale_sellout,
     run_geo,
     run_micro,
+    run_quota,
+    run_quota_saturation,
     run_winner_crash,
 )
 from repro.treaty.escrow import EscrowAccount  # noqa: E402
@@ -407,6 +438,100 @@ def _scenario_faults():
     return homeo, {"fault_gate": gate}
 
 
+#: the flash-sale stress point: 90% of checkouts on one SKU, treaty
+#: headroom collapsing toward zero -- the regime adaptive rebalancing
+#: was built for (deterministic under the fixed seed)
+_FLASHSALE_POINT = dict(
+    num_skus=8,
+    hot_stock=150,
+    cold_stock=60,
+    hot_fraction=0.9,
+    restock_fraction=0.05,
+    peek_fraction=0.1,
+    max_txns=2_500,
+    seed=0,
+)
+
+
+def _scenario_flashsale():
+    """One hot SKU under adaptive vs static treaty allocation.
+
+    The scenario's headline metrics are the *adaptive* run; the
+    ``adaptive_gate`` extras record the adaptive-beats-static
+    comparison (the same gate shape the adaptive_skew scenario uses,
+    enforced by the same compare_bench check), and the
+    ``flashsale_gate`` extras record the deterministic sell-out audit:
+    driving 3x the hot stock in checkouts must end exactly at zero --
+    sold out, never oversold -- whatever the treaty splits did.
+    """
+    adaptive = run_flashsale("adaptive", **_FLASHSALE_POINT)
+    static = run_flashsale("static", **_FLASHSALE_POINT)
+    gate = {
+        "hot_fraction": _FLASHSALE_POINT["hot_fraction"],
+        "flashsale": {
+            "adaptive_sync_ratio": round(adaptive.sync_ratio, 5),
+            "static_sync_ratio": round(static.sync_ratio, 5),
+            "adaptive_rebalance_ratio": round(adaptive.rebalance_ratio, 5),
+            "adaptive_rebalances": adaptive.rebalances,
+            "free_ratio": adaptive.classifier.get("free_ratio", 0.0),
+            "checks_per_commit": adaptive.classifier.get(
+                "checks_per_commit", 0.0
+            ),
+        },
+    }
+    sellout = run_flashsale_sellout(num_sites=2, hot_stock=60, seed=0)
+    return adaptive, {"adaptive_gate": gate, "flashsale_gate": sellout}
+
+
+def _scenario_banking():
+    """Cross-site transfers under non-negative-balance treaties.
+
+    Headline metrics are the homeostasis run; the ``banking_gate``
+    extras record the deterministic conservation audit on a separate
+    3-site cluster: money in equals money out (transfers conserve,
+    deposits add exactly what they deposited) and no account ever
+    ends negative -- the treaty invariant, checked on final state.
+    """
+    homeo = run_banking(
+        "homeo",
+        num_accounts=8,
+        initial_balance=30,
+        deposit_fraction=0.1,
+        audit_fraction=0.05,
+        max_txns=2_000,
+        seed=0,
+    )
+    conservation = run_banking_conservation(
+        num_sites=3, num_accounts=6, requests=600, seed=0
+    )
+    return homeo, {"banking_gate": conservation}
+
+
+def _scenario_quota():
+    """A multi-tenant rate limiter: 150 independent small treaties.
+
+    Headline metrics are the homeostasis run (its
+    ``checks_per_commit`` is gated baseline-relative by
+    compare_bench: this scenario is where a treaty-table or
+    compiled-check-cache regression shows up as clause-scope bloat);
+    the ``quota_gate`` extras record the deterministic saturation
+    audit: hammering 90% of traffic onto one tenant must drive it
+    exactly to its limit -- never past it.
+    """
+    homeo = run_quota(
+        "homeo",
+        num_tenants=150,
+        limit=12,
+        usage_fraction=0.05,
+        max_txns=2_500,
+        seed=0,
+    )
+    saturation = run_quota_saturation(
+        num_sites=2, num_tenants=30, limit=8, requests=600, seed=0
+    )
+    return homeo, {"quota_gate": saturation}
+
+
 #: scenario name -> zero-argument runner returning a SimResult (or a
 #: (SimResult, extras) pair whose extras merge into the JSON record)
 SCENARIOS = {
@@ -415,6 +540,9 @@ SCENARIOS = {
     "contention_races": _scenario_contention_races,
     "adaptive_skew": _scenario_adaptive_skew,
     "faults": _scenario_faults,
+    "flashsale": _scenario_flashsale,
+    "banking": _scenario_banking,
+    "quota": _scenario_quota,
 }
 
 

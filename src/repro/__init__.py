@@ -56,8 +56,12 @@ from repro.treaty.config import (
 )
 from repro.treaty.optimize import SequenceWorkloadModel, optimize_configuration
 from repro.treaty.templates import build_templates
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.common import WorkloadSpecError
+from repro.workloads.flashsale import FlashSaleWorkload
 from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
+from repro.workloads.quota import QuotaWorkload
 from repro.workloads.topk import (
     TopKSystem,
     TopKWorkload,
@@ -106,8 +110,12 @@ __all__ = [
     "run_micro",
     "run_simulation",
     # workloads
+    "BankingWorkload",
+    "FlashSaleWorkload",
     "GeoMicroWorkload",
     "MicroWorkload",
+    "QuotaWorkload",
+    "WorkloadSpecError",
     "TopKSystem",
     "TopKWorkload",
     "TpccWorkload",

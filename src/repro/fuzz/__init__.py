@@ -1,0 +1,58 @@
+"""Adversarial workload fuzzing for the homeostasis protocol.
+
+Random L++ programs with linear numeric invariants, run through the
+real parser, the Appendix B replication transform, and a
+validate-mode protocol cluster, then held to the Theorem 3.8 serial
+oracle (identical logs, identical final state) with H1/H2 treaty
+assertions on every install.
+
+- :mod:`repro.fuzz.generators` -- case model + program synthesis +
+  the plain-RNG generator (no external dependencies);
+- :mod:`repro.fuzz.strategies` -- Hypothesis strategies over the
+  same space (imports :mod:`hypothesis`; test environments only);
+- :mod:`repro.fuzz.oracle` -- the serial-equivalence oracle;
+- :mod:`repro.fuzz.corpus` -- JSON persistence for shrunk
+  counterexamples and the committed regression corpus.
+
+This subpackage is deliberately *not* re-exported from the
+:mod:`repro` facade: the fuzzer is a development harness, not part of
+the reproduction's public API.
+"""
+
+from repro.fuzz.corpus import (
+    case_from_json,
+    case_to_json,
+    fingerprint,
+    load_corpus,
+    save_case,
+)
+from repro.fuzz.generators import (
+    ArraySpec,
+    FamilySpec,
+    FuzzCase,
+    FuzzRequest,
+    FuzzSpec,
+    FuzzWorkload,
+    random_case,
+    synthesize_source,
+)
+from repro.fuzz.oracle import FuzzDivergence, FuzzOutcome, run_case
+
+__all__ = [
+    "ArraySpec",
+    "FamilySpec",
+    "FuzzCase",
+    "FuzzDivergence",
+    "FuzzOutcome",
+    "FuzzRequest",
+    "FuzzSpec",
+    "FuzzWorkload",
+    "case_from_json",
+    "case_to_json",
+    "fingerprint",
+    "load_corpus",
+    "random_case",
+    "run_case",
+    "save_case",
+    "synthesize_source",
+]

@@ -1,0 +1,110 @@
+"""Persisting fuzz cases: the regression corpus.
+
+A shrunk counterexample is only worth something if it keeps running
+after the Hypothesis database is gone, so cases round-trip through a
+stable JSON encoding:
+
+- :func:`save_case` writes a case under its content fingerprint (or a
+  caller-chosen name).  The fuzz test overwrites one well-known
+  pending file per failure; Hypothesis replays the *minimal* shrunk
+  example last, so after a failing run the pending file holds the
+  minimal reproducer, ready to be promoted into the committed corpus.
+- :func:`load_corpus` reads every ``*.json`` case in a directory; the
+  tier-1 regression test replays them all through the oracle on every
+  run, so a once-found divergence can never quietly return.
+- :func:`fingerprint` is the canonical-JSON content hash used both
+  for corpus filenames and by the diversity audit (two cases with the
+  same fingerprint are the same program, invariants, configuration,
+  and schedule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.fuzz.generators import (
+    ArraySpec,
+    FamilySpec,
+    FuzzCase,
+    FuzzRequest,
+    FuzzSpec,
+)
+
+
+def case_to_json(case: FuzzCase) -> dict:
+    return {
+        "spec": {
+            "num_sites": case.spec.num_sites,
+            "arrays": [
+                {"name": a.name, "num_items": a.num_items, "initial": a.initial}
+                for a in case.spec.arrays
+            ],
+            "families": [
+                {
+                    "name": f.name,
+                    "kind": f.kind,
+                    "array": f.array,
+                    "floor": f.floor,
+                    "delta": f.delta,
+                    "reset": f.reset,
+                }
+                for f in case.spec.families
+            ],
+            "strategy": case.spec.strategy,
+            "adaptive": case.spec.adaptive,
+            "negotiation": case.spec.negotiation,
+            "pinned_probes": case.spec.pinned_probes,
+        },
+        "schedule": [
+            {"family": r.family, "site": r.site, "draws": list(r.draws)}
+            for r in case.schedule
+        ],
+    }
+
+
+def case_from_json(data: dict) -> FuzzCase:
+    spec = data["spec"]
+    return FuzzCase(
+        spec=FuzzSpec(
+            num_sites=spec["num_sites"],
+            arrays=tuple(ArraySpec(**a) for a in spec["arrays"]),
+            families=tuple(FamilySpec(**f) for f in spec["families"]),
+            strategy=spec["strategy"],
+            adaptive=spec["adaptive"],
+            negotiation=spec["negotiation"],
+            pinned_probes=spec.get("pinned_probes", False),
+        ),
+        schedule=tuple(
+            FuzzRequest(
+                family=r["family"], site=r["site"], draws=tuple(r["draws"])
+            )
+            for r in data["schedule"]
+        ),
+    )
+
+
+def fingerprint(case: FuzzCase) -> str:
+    """Content hash of the canonical JSON encoding (12 hex chars)."""
+    canonical = json.dumps(case_to_json(case), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def save_case(case: FuzzCase, directory: Path, name: str | None = None) -> Path:
+    """Write one case; returns the path.  Default name: fingerprint."""
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = name or f"case-{fingerprint(case)}"
+    path = directory / f"{stem}.json"
+    path.write_text(json.dumps(case_to_json(case), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: Path) -> list[tuple[str, FuzzCase]]:
+    """Every committed case in ``directory``, sorted by filename."""
+    out: list[tuple[str, FuzzCase]] = []
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("*.json")):
+        out.append((path.stem, case_from_json(json.loads(path.read_text()))))
+    return out

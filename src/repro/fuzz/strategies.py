@@ -1,0 +1,94 @@
+"""Hypothesis strategies over the fuzz case space.
+
+The same distribution :func:`repro.fuzz.generators.random_case` draws
+from, expressed as Hypothesis strategies so failing cases *shrink*:
+schedules get shorter, draws fall toward zero (and stay in-domain --
+request params resolve modulo the family's domains), specs lose
+arrays and families, and the surviving counterexample is the minimal
+program + schedule that still diverges.
+
+This module is the only place the fuzzer imports :mod:`hypothesis`,
+keeping :mod:`repro.fuzz` importable in production environments; it
+is deliberately not pulled into ``repro.fuzz.__init__``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fuzz.generators import (
+    FAMILY_KINDS,
+    FUZZ_POLICIES,
+    FUZZ_STRATEGIES,
+    ArraySpec,
+    FamilySpec,
+    FuzzCase,
+    FuzzRequest,
+    FuzzSpec,
+)
+
+#: one opaque request draw; three cover the widest domain (transfer's
+#: amount/dst/src) and shrink toward the zeroth domain element
+_DRAWS = st.tuples(
+    st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)
+)
+
+
+@st.composite
+def fuzz_specs(draw) -> FuzzSpec:
+    """A generated workload + protocol configuration."""
+    num_sites = draw(st.integers(2, 3))
+    arrays = tuple(
+        ArraySpec(
+            name=f"a{i}",
+            num_items=draw(st.integers(2, 4)),
+            initial=draw(st.integers(4, 16)),
+        )
+        for i in range(draw(st.integers(1, 2)))
+    )
+    families = []
+    for i in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(FAMILY_KINDS))
+        floor = draw(st.integers(0, 3))
+        delta = draw(st.integers(1, 2))
+        reset = None
+        if kind == "buy":
+            reset = draw(
+                st.none()
+                | st.integers(floor + delta, floor + delta + 6)
+            )
+        families.append(
+            FamilySpec(
+                name=f"T{i}",
+                kind=kind,
+                array=draw(st.sampled_from(arrays)).name,
+                floor=floor,
+                delta=delta,
+                reset=reset,
+            )
+        )
+    return FuzzSpec(
+        num_sites=num_sites,
+        arrays=arrays,
+        families=tuple(families),
+        strategy=draw(st.sampled_from(FUZZ_STRATEGIES)),
+        adaptive=draw(st.booleans()),
+        negotiation=draw(st.sampled_from(FUZZ_POLICIES)),
+        pinned_probes=draw(st.booleans()),
+    )
+
+
+@st.composite
+def fuzz_cases(draw, min_schedule: int = 10, max_schedule: int = 60) -> FuzzCase:
+    """A spec plus a schedule to replay against the serial oracle."""
+    spec = draw(fuzz_specs())
+    requests = st.builds(
+        FuzzRequest,
+        family=st.integers(0, len(spec.families) - 1),
+        site=st.integers(0, spec.num_sites - 1),
+        draws=_DRAWS,
+    )
+    schedule = draw(
+        st.lists(requests, min_size=min_schedule, max_size=max_schedule)
+    )
+    return FuzzCase(spec=spec, schedule=tuple(schedule))

@@ -23,8 +23,11 @@ from repro.sim.metrics import SimResult
 from repro.treaty.optimize import demand_split
 from repro.sim.network import rtt_matrix_for
 from repro.sim.runner import FaultEvent, SimConfig, SimRequest, simulate
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.flashsale import FlashSaleWorkload
 from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
+from repro.workloads.quota import QuotaWorkload
 from repro.workloads.tpcc import TpccWorkload
 
 
@@ -661,3 +664,374 @@ def run_tpcc(
     if config_overrides:
         config = replace(config, **config_overrides)
     return simulate(config, cluster, request_fn)
+
+
+# -- scenario fleet ----------------------------------------------------------
+
+
+def _fleet_cluster(workload, mode: str, lookahead: int, cost_factor: int,
+                   seed: int, adaptive=None, negotiation=None,
+                   validate: bool = False, window_ms: float = 0.0):
+    """Kernel selection shared by the scenario-fleet runners.
+
+    ``window_ms > 0`` selects the concurrent cleanup runtime (batched
+    arrival windows, real vote phase) -- required for contested
+    negotiations, and therefore for any fairness measurement.
+    """
+    if mode in _STRATEGY_FOR_MODE:
+        build = (
+            workload.build_concurrent if window_ms > 0.0
+            else workload.build_homeostasis
+        )
+        return build(
+            strategy=_STRATEGY_FOR_MODE[mode],
+            lookahead=lookahead,
+            cost_factor=cost_factor,
+            seed=seed,
+            adaptive=adaptive,
+            negotiation=negotiation,
+            validate=validate,
+        )
+    if mode == "2pc":
+        return workload.build_2pc()
+    if mode == "local":
+        return workload.build_local()
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def run_flashsale(
+    mode: str = "adaptive",
+    rtt_ms: float = 100.0,
+    num_replicas: int = 2,
+    clients_per_replica: int = 8,
+    num_skus: int = 8,
+    hot_stock: int = 150,
+    cold_stock: int = 60,
+    hot_fraction: float = 0.9,
+    restock_fraction: float = 0.05,
+    peek_fraction: float = 0.1,
+    watermark: float = 0.25,
+    window_ms: float = 0.0,
+    negotiation: NegotiationSpec | None = None,
+    max_txns: int = 2_500,
+    seed: int = 0,
+    validate: bool = False,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One flash-sale point: a stock treaty draining toward zero.
+
+    Unlike :func:`run_adaptive_skew`, which skews *site* load through
+    client placement, the flash sale skews *object* load: every site
+    hammers SKU 0, so the hot treaty's headroom collapses while the
+    cold catalog idles.  ``mode``:
+
+    - ``"adaptive"`` -- demand-weighted splits plus the low-watermark
+      refresh of :class:`~repro.protocol.homeostasis.AdaptiveSettings`
+      (headroom chases the sale);
+    - ``"static"`` -- the frozen equal split (every violation of the
+      hot treaty pays a full negotiation).
+
+    ``window_ms > 0`` runs the concurrent kernel so violators race in
+    arrival windows, and ``negotiation`` attaches a Paxos Commit
+    arbitration policy -- the flash sale is the starvation regime the
+    credit ledger was built for, so ``SimResult.fairness`` is the
+    quantity of interest there.
+    """
+    if mode not in _ADAPTIVE_MODES:
+        raise ValueError(f"flash-sale experiment modes: adaptive/static, not {mode!r}")
+    strategy, refresh = _ADAPTIVE_MODES[mode]
+    adaptive = AdaptiveSettings(watermark=watermark) if refresh else None
+    workload = FlashSaleWorkload(
+        num_skus=num_skus,
+        hot_stock=hot_stock,
+        cold_stock=cold_stock,
+        num_sites=num_replicas,
+        hot_fraction=hot_fraction,
+        restock_fraction=restock_fraction,
+        peek_fraction=peek_fraction,
+        init_seed=seed + 1,
+    )
+    build = (
+        workload.build_concurrent if window_ms > 0.0
+        else workload.build_homeostasis
+    )
+    cluster = build(
+        strategy=strategy,
+        adaptive=adaptive,
+        negotiation=negotiation,
+        validate=validate,
+        seed=seed,
+    )
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(req.tx_name, req.params, req.items, family=req.family)
+
+    config = SimConfig(
+        mode="homeo" if mode == "adaptive" else "opt",
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_ms=rtt_ms,
+        window_ms=window_ms,
+        solver_ms=0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def run_flashsale_sellout(
+    num_sites: int = 2,
+    hot_stock: int = 60,
+    seed: int = 0,
+) -> dict:
+    """The oversell audit: drain the sale, count every unit.
+
+    A validate-mode cluster (H1/H2 oracles on every install) takes
+    three times as many hot-SKU checkouts as there is stock, spread
+    round-robin over the sites.  The guarded decrement must sell
+    *exactly* ``hot_stock`` units -- the treaty may defer coordination
+    but never mint inventory -- and the tail of the sale, where every
+    site's split has rounded down to nothing, must still terminate
+    with the logical stock at exactly zero.
+
+    Returns the flat metric dict the benchmark harness folds into the
+    flash-sale gate; everything in it is deterministic.
+    """
+    workload = FlashSaleWorkload(
+        num_skus=2,
+        hot_stock=hot_stock,
+        cold_stock=10,
+        num_sites=num_sites,
+        restock_fraction=0.0,
+        init_seed=seed + 1,
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    for i in range(3 * hot_stock):
+        site = i % num_sites
+        cluster.submit(f"Checkout@s{site}", {"item": 0})
+    levels = workload.stock_levels(cluster.global_state())
+    return {
+        "hot_stock": hot_stock,
+        "hot_remaining": levels[0],
+        "sold_out": levels[0] == 0,
+        "oversold_units": sum(-v for v in levels.values() if v < 0),
+        "min_stock": min(levels.values()),
+        "sync_ratio": round(cluster.stats.sync_ratio, 5),
+    }
+
+
+def run_banking(
+    mode: str = "homeo",
+    rtt_ms: float = 100.0,
+    num_replicas: int = 2,
+    clients_per_replica: int = 8,
+    num_accounts: int = 8,
+    initial_balance: int = 30,
+    deposit_fraction: float = 0.1,
+    audit_fraction: float = 0.05,
+    hot_fraction: float = 0.0,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    window_ms: float = 0.0,
+    negotiation: NegotiationSpec | None = None,
+    max_txns: int = 4_000,
+    seed: int = 0,
+    validate: bool = False,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One banking point: cross-site transfers, non-negative balances.
+
+    The transfer's debit is the treaty-bearing write (``b >= amount``
+    headroom split across sites); the credit and the ``Deposit``
+    family are pure local deltas, and ``Audit`` probes are the
+    classifier-FREE class.  ``mode`` selects homeo / opt / 2pc /
+    local exactly as in :func:`run_micro`.
+    """
+    workload = BankingWorkload(
+        num_accounts=num_accounts,
+        num_sites=num_replicas,
+        initial_balance=initial_balance,
+        deposit_fraction=deposit_fraction,
+        audit_fraction=audit_fraction,
+        hot_fraction=hot_fraction,
+        init_seed=seed + 1,
+    )
+    cluster = _fleet_cluster(
+        workload, mode, lookahead, cost_factor, seed,
+        negotiation=negotiation, validate=validate, window_ms=window_ms,
+    )
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(
+            req.tx_name, req.params, req.accounts, family=req.family
+        )
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_ms=rtt_ms,
+        window_ms=window_ms,
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def run_banking_conservation(
+    num_sites: int = 3,
+    num_accounts: int = 6,
+    requests: int = 600,
+    seed: int = 0,
+) -> dict:
+    """The money-supply audit: transfers conserve, balances stay >= 0.
+
+    A validate-mode cluster takes a deterministic mixed stream
+    (transfers, deposits, read-only audits); afterwards the logical
+    money supply must equal the opening supply plus every committed
+    deposit -- the protocol may defer writes into per-site deltas but
+    may not mint or burn a unit -- and no account may be overdrawn.
+
+    Returns the flat metric dict the benchmark harness folds into the
+    banking gate; everything in it is deterministic.
+    """
+    workload = BankingWorkload(
+        num_accounts=num_accounts,
+        num_sites=num_sites,
+        initial_balance=20,
+        deposit_fraction=0.15,
+        audit_fraction=0.05,
+        init_seed=seed + 1,
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    rng = random.Random(seed)
+    deposited = 0
+    for _ in range(requests):
+        req = workload.next_request(rng)
+        cluster.submit(req.tx_name, req.params)
+        if req.family == "Deposit":
+            deposited += req.params["amount"]
+    state = cluster.global_state()
+    problems = workload.conservation_violations(state, deposited)
+    balances = workload.balances(state)
+    return {
+        "accounts": num_accounts,
+        "requests": requests,
+        "deposited": deposited,
+        "expected_total": num_accounts * workload.initial_balance + deposited,
+        "final_total": workload.total_money(state),
+        "min_balance": min(balances.values()),
+        "money_conserved": not problems,
+        "conservation_problems": problems,
+        "sync_ratio": round(cluster.stats.sync_ratio, 5),
+    }
+
+
+def run_quota(
+    mode: str = "homeo",
+    rtt_ms: float = 100.0,
+    num_replicas: int = 2,
+    clients_per_replica: int = 8,
+    num_tenants: int = 150,
+    limit: int = 12,
+    usage_fraction: float = 0.05,
+    hot_fraction: float = 0.0,
+    lookahead: int = 20,
+    cost_factor: int = 3,
+    window_ms: float = 0.0,
+    negotiation: NegotiationSpec | None = None,
+    max_txns: int = 4_000,
+    seed: int = 0,
+    validate: bool = False,
+    config_overrides: dict | None = None,
+) -> SimResult:
+    """One rate-limiter point: many small independent treaties.
+
+    Every tenant carries its own ``used <= limit`` invariant, so the
+    treaty table and the compiled-check cache hold one entry per
+    tenant -- sweeping ``num_tenants`` stresses the per-commit
+    metadata path rather than headroom arithmetic on one hot counter.
+    """
+    workload = QuotaWorkload(
+        num_tenants=num_tenants,
+        num_sites=num_replicas,
+        limit=limit,
+        usage_fraction=usage_fraction,
+        hot_fraction=hot_fraction,
+        init_seed=seed + 1,
+    )
+    cluster = _fleet_cluster(
+        workload, mode, lookahead, cost_factor, seed,
+        negotiation=negotiation, validate=validate, window_ms=window_ms,
+    )
+
+    def request_fn(rng, replica: int) -> SimRequest:
+        req = workload.next_request(rng, site=replica)
+        return SimRequest(
+            req.tx_name, req.params, (req.tenant,), family=req.family
+        )
+
+    config = SimConfig(
+        mode=mode,
+        num_replicas=num_replicas,
+        clients_per_replica=clients_per_replica,
+        rtt_ms=rtt_ms,
+        window_ms=window_ms,
+        solver_ms=solver_time_model(lookahead, cost_factor) if mode == "homeo" else 0.0,
+        max_txns=max_txns,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return simulate(config, cluster, request_fn)
+
+
+def run_quota_saturation(
+    num_sites: int = 2,
+    num_tenants: int = 30,
+    limit: int = 8,
+    requests: int = 600,
+    seed: int = 0,
+) -> dict:
+    """The overrun audit: a hammered tenant never escapes its limit.
+
+    A validate-mode cluster takes a deterministic stream with 90% of
+    hits aimed at tenant 0 -- far more than one window's budget, so
+    the counter must cycle through the rollover path repeatedly --
+    and afterwards every tenant's logical counter must sit inside
+    ``[0, limit]``.
+
+    Returns the flat metric dict the benchmark harness folds into the
+    quota gate; everything in it is deterministic.
+    """
+    workload = QuotaWorkload(
+        num_tenants=num_tenants,
+        num_sites=num_sites,
+        limit=limit,
+        hot_fraction=0.9,
+        init_seed=seed + 1,
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    rng = random.Random(seed)
+    for _ in range(requests):
+        req = workload.next_request(rng)
+        cluster.submit(req.tx_name, req.params)
+    levels = workload.usage_levels(cluster.global_state())
+    overruns = workload.overruns(cluster.global_state())
+    return {
+        "tenants": num_tenants,
+        "limit": limit,
+        "requests": requests,
+        "max_used": max(levels.values()),
+        "min_used": min(levels.values()),
+        "overrun_violations": len(overruns),
+        "within_limits": not overruns,
+        "sync_ratio": round(cluster.stats.sync_ratio, 5),
+    }

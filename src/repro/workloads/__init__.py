@@ -15,18 +15,44 @@
   example (Figures 1-2).
 - :mod:`repro.workloads.weather` -- the Appendix D examples (top-k of
   minimums; top-k temperature differences).
+
+The scenario fleet stresses regimes the paper's own benchmarks leave
+implicit:
+
+- :mod:`repro.workloads.flashsale` -- one hot SKU, a stock treaty
+  whose headroom collapses toward zero (the adaptive-rebalance
+  stress case).
+- :mod:`repro.workloads.banking` -- cross-site account transfers
+  under non-negative balances (the ING / coordination-avoidance
+  canonical example).
+- :mod:`repro.workloads.quota` -- a multi-tenant rate limiter: many
+  small independent treaties stressing the treaty table and the
+  compiled-check cache.
+
+All three share the builder spine in
+:mod:`repro.workloads.common`, whose :class:`WorkloadSpecError`
+is raised by every workload constructor on a misconfigured spec.
 """
 
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.common import ReplicatedWorkloadBase, WorkloadSpecError
+from repro.workloads.flashsale import FlashSaleWorkload
 from repro.workloads.geo import GeoMicroWorkload
 from repro.workloads.micro import MicroWorkload
+from repro.workloads.quota import QuotaWorkload
 from repro.workloads.tpcc import TpccWorkload
 from repro.workloads.topk import TopKWorkload
 from repro.workloads.weather import WeatherWorkload
 
 __all__ = [
+    "BankingWorkload",
+    "FlashSaleWorkload",
     "GeoMicroWorkload",
     "MicroWorkload",
+    "QuotaWorkload",
+    "ReplicatedWorkloadBase",
     "TpccWorkload",
     "TopKWorkload",
     "WeatherWorkload",
+    "WorkloadSpecError",
 ]

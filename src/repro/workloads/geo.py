@@ -43,6 +43,11 @@ from repro.protocol.remote_writes import (
     replicate_workload,
 )
 from repro.treaty.optimize import SequenceWorkloadModel
+from repro.workloads.common import (
+    WorkloadSpecError,
+    require_nonempty,
+    require_positive,
+)
 
 
 def group_buy_source(gid: int, base: str, refill: int) -> str:
@@ -79,8 +84,31 @@ class GeoMicroWorkload:
     init_seed: int = 1
 
     def __post_init__(self) -> None:
+        require_nonempty("groups", self.groups)
+        for gid, group in enumerate(self.groups):
+            if len(group) == 0:
+                raise WorkloadSpecError(
+                    f"groups[{gid}] must name at least one site"
+                )
+            if len(set(group)) != len(group):
+                raise WorkloadSpecError(
+                    f"groups[{gid}] repeats a site: {group!r}"
+                )
+        require_positive("items_per_group", self.items_per_group)
+        require_positive("refill", self.refill)
+        if self.initial_qty not in ("refill", "random"):
+            raise WorkloadSpecError(
+                f"initial_qty must be 'refill' or 'random', got "
+                f"{self.initial_qty!r}"
+            )
+        highest = max(s for g in self.groups for s in g)
         if self.num_sites is None:
-            self.num_sites = 1 + max(s for g in self.groups for s in g)
+            self.num_sites = 1 + highest
+        elif self.num_sites <= highest:
+            raise WorkloadSpecError(
+                f"num_sites={self.num_sites!r} does not cover site "
+                f"{highest} named in groups"
+            )
         self.sites = tuple(range(self.num_sites))
         self.bases = tuple(f"qty{gid}" for gid in range(len(self.groups)))
         self.spec = ReplicationSpec(

@@ -42,6 +42,12 @@ from repro.protocol.remote_writes import (
     replicate_workload,
 )
 from repro.treaty.optimize import SequenceWorkloadModel
+from repro.workloads.common import (
+    WorkloadSpecError,
+    require_fraction,
+    require_positive,
+    require_sites,
+)
 
 
 def buy_source(refill: int) -> str:
@@ -112,9 +118,29 @@ class MicroWorkload:
     audit_fraction: float = 0.0
 
     def __post_init__(self) -> None:
+        require_sites("num_sites", self.num_sites, floor=2)
+        require_positive("num_items", self.num_items)
+        require_positive("refill", self.refill)
+        require_positive("items_per_txn", self.items_per_txn)
+        require_fraction("audit_fraction", self.audit_fraction)
+        if self.items_per_txn > self.num_items:
+            raise WorkloadSpecError(
+                f"items_per_txn={self.items_per_txn!r} cannot exceed "
+                f"num_items={self.num_items!r} (MultiBuy orders distinct items)"
+            )
+        if self.initial_qty not in ("refill", "random"):
+            raise WorkloadSpecError(
+                f"initial_qty must be 'refill' or 'random', got "
+                f"{self.initial_qty!r}"
+            )
         self.sites = tuple(range(self.num_sites))
         if not self.site_weights:
             self.site_weights = {s: 1.0 for s in self.sites}
+        elif set(self.site_weights) != set(self.sites):
+            raise WorkloadSpecError(
+                f"site_weights keys {sorted(self.site_weights)} must match "
+                f"sites {list(self.sites)}"
+            )
         if self.items_per_txn == 1:
             self.family = parse_transaction(buy_source(self.refill))
         else:

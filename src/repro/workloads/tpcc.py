@@ -56,6 +56,11 @@ from repro.protocol.remote_writes import (
     transform_for_site,
 )
 from repro.treaty.optimize import SequenceWorkloadModel
+from repro.workloads.common import (
+    WorkloadSpecError,
+    require_positive,
+    require_sites,
+)
 
 #: TPC-C order quantity range (uniform 1..5 per Section 6.2).
 QTY_RANGE = (1, 2, 3, 4, 5)
@@ -128,6 +133,25 @@ class TpccWorkload:
     mix: tuple[float, float, float] = (0.45, 0.45, 0.10)
 
     def __post_init__(self) -> None:
+        require_sites("num_sites", self.num_sites, floor=2)
+        require_positive("num_warehouses", self.num_warehouses)
+        require_positive("num_districts", self.num_districts)
+        require_positive("items_per_district", self.items_per_district)
+        require_positive("num_customers", self.num_customers)
+        require_positive("initial_stock", self.initial_stock)
+        if not 0 <= self.hotness <= 100:
+            raise WorkloadSpecError(
+                f"hotness is a percentage in [0, 100], got {self.hotness!r}"
+            )
+        if len(self.mix) != 3 or any(m < 0 for m in self.mix):
+            raise WorkloadSpecError(
+                "mix must be three non-negative shares "
+                f"(NewOrder, Payment, Delivery), got {self.mix!r}"
+            )
+        if abs(sum(self.mix) - 1.0) > 1e-9:
+            raise WorkloadSpecError(
+                f"mix must sum to 1.0, got {sum(self.mix)!r}"
+            )
         self.sites = tuple(range(self.num_sites))
         self.num_items = self.items_per_district
         self.num_hot = max(1, self.num_items // 100)

@@ -2,9 +2,12 @@
 
 The default profile keeps the property suites fast on the PR critical
 path; the nightly workflow selects the deeper budget with
-``pytest --hypothesis-profile=nightly``.
+``pytest --hypothesis-profile=nightly``, and the CI fuzz-smoke job
+selects the time-boxed budget with
+``pytest --hypothesis-profile=fuzz-smoke``.
 """
 
 from hypothesis import settings
 
 settings.register_profile("nightly", max_examples=500, deadline=None)
+settings.register_profile("fuzz-smoke", max_examples=25, deadline=None)

@@ -1,0 +1,257 @@
+"""The Hypothesis workload fuzzer and its regression corpus.
+
+Random L++ programs with linear numeric invariants run through the
+full protocol stack (real parser, Appendix B transform, treaty
+generator, validate-mode cluster) and held to the serial oracle of
+:mod:`repro.fuzz.oracle`: strictly serial final state and sync
+broadcasts, print logs per the case's probe contract (snapshot for
+classifier-FREE probes, strictly serial under ``pinned_probes``).
+
+A failing case is written to ``corpus/pending/`` on every shrink
+attempt; Hypothesis replays the minimal example last, so after a red
+run the pending file holds the minimal reproducer, ready to be
+promoted into ``corpus/`` where the replay test keeps it green
+forever.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import repro.fuzz.oracle as oracle_mod
+from repro.fuzz import (
+    FuzzCase,
+    FuzzDivergence,
+    FuzzSpec,
+    ArraySpec,
+    FamilySpec,
+    fingerprint,
+    load_corpus,
+    random_case,
+    run_case,
+    save_case,
+)
+from repro.fuzz.strategies import fuzz_cases
+from repro.workloads import WorkloadSpecError
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+PENDING_DIR = CORPUS_DIR / "pending"
+
+
+# -- the fuzzer ---------------------------------------------------------------
+
+
+@given(fuzz_cases())
+@settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_fuzzed_workloads_are_serially_equivalent(case):
+    """Every generated case passes the serial oracle (final state,
+    sync broadcasts, and the selected print contract), with H1/H2
+    asserted by the validate-mode cluster at every treaty install."""
+    try:
+        run_case(case)
+    except FuzzDivergence as exc:
+        save_case(exc.case, PENDING_DIR, "pending-failure")
+        raise
+
+
+# -- the committed regression corpus ------------------------------------------
+
+
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_committed():
+    """The seed corpus ships with the repo (a minimal-reproducer pair
+    for the probe contracts plus coverage-picked random cases)."""
+    assert len(CORPUS) >= 7
+    names = [name for name, _ in CORPUS]
+    assert "probe-snapshot-minimal" in names
+    assert "probe-pinned-minimal" in names
+
+
+@pytest.mark.parametrize(
+    "name,case", CORPUS, ids=[name for name, _ in CORPUS]
+)
+def test_corpus_replays_clean(name, case):
+    """Once-found divergences can never quietly return: every corpus
+    case replays through the oracle on every run."""
+    run_case(case)
+
+
+def test_corpus_round_trip():
+    """Persisted cases reload to the exact cases they encode."""
+    for name, case in CORPUS:
+        reloaded = load_corpus(CORPUS_DIR)
+        assert dict(reloaded)[name] == case
+        break  # one file proves the path; fingerprints cover the rest
+    fingerprints = {fingerprint(case) for _, case in CORPUS}
+    assert len(fingerprints) == len(CORPUS)
+
+
+# -- the probe contracts (the divergence the fuzzer found) --------------------
+
+
+def _minimal_cases():
+    by_name = dict(CORPUS)
+    return by_name["probe-snapshot-minimal"], by_name["probe-pinned-minimal"]
+
+
+def test_unpinned_probe_prints_the_snapshot_value():
+    """The found divergence, pinned down as the snapshot contract: a
+    buy commits locally at site 0, then a classifier-FREE probe at
+    site 1 prints the value of *its* snapshot -- the initial 5, not
+    the serial 3 -- and no negotiation runs."""
+    case, _ = _minimal_cases()
+    workload = oracle_mod.FuzzWorkload(fuzz=case.spec)
+    cluster = oracle_mod.build_cluster(workload)
+    logs = [cluster.submit(*workload.resolve(r)).log for r in case.schedule]
+    assert logs == [(), (5,)]
+    assert cluster.stats.negotiations == 0
+    run_case(case)  # and that is exactly what the oracle demands
+
+
+def test_pinned_probe_forces_the_writer_to_sync():
+    """Same program under ``pinned_probes``: the probe's ground rows
+    pin the slots (Appendix C.3 demarcation), the buy pays a
+    negotiation for its write, and the probe prints the serial 3."""
+    _, case = _minimal_cases()
+    workload = oracle_mod.FuzzWorkload(fuzz=case.spec)
+    cluster = oracle_mod.build_cluster(workload)
+    logs = [cluster.submit(*workload.resolve(r)).log for r in case.schedule]
+    assert logs == [(), (3,)]
+    assert cluster.stats.negotiations == 1
+    run_case(case)
+
+
+# -- oracle sensitivity (the oracle is not vacuous) ---------------------------
+
+
+def test_oracle_catches_a_corrupted_print(monkeypatch):
+    """A protocol that returned wrong print values would be rejected:
+    tamper every non-empty log and the minimal probe case diverges."""
+    real_build = oracle_mod.build_cluster
+
+    def tampering_build(workload):
+        cluster = real_build(workload)
+        orig = cluster.submit
+
+        def submit(tx_name, params=None):
+            result = orig(tx_name, params)
+            if result.log:
+                result.log = tuple(v + 1 for v in result.log)
+            return result
+
+        cluster.submit = submit
+        return cluster
+
+    monkeypatch.setattr(oracle_mod, "build_cluster", tampering_build)
+    case, _ = _minimal_cases()
+    with pytest.raises(FuzzDivergence, match="log divergence"):
+        run_case(case)
+
+
+def test_oracle_catches_a_corrupted_store(monkeypatch):
+    """A lost update is rejected -- by the oracle's sync/final-state
+    checks or by the validate-mode kernel's own agreement asserts,
+    whichever observes the corrupted object first."""
+    real_build = oracle_mod.build_cluster
+
+    def tampering_build(workload):
+        cluster = real_build(workload)
+        orig = cluster.submit
+        count = {"n": 0}
+
+        def submit(tx_name, params=None):
+            count["n"] += 1
+            if count["n"] == 5:
+                store = cluster.sites[0].engine.store
+                store.data[sorted(store.data)[0]] += 7
+            return orig(tx_name, params)
+
+        cluster.submit = submit
+        return cluster
+
+    monkeypatch.setattr(oracle_mod, "build_cluster", tampering_build)
+    corrupted = random_case(random.Random(2))
+    with pytest.raises(Exception):
+        run_case(corrupted)
+
+
+# -- generator diversity ------------------------------------------------------
+
+
+def test_generator_diversity_scales_with_profile():
+    """The nightly budget must explore >= 200 distinct programs (the
+    acceptance floor); whatever the active profile's budget is, a
+    same-size seed sweep produces that many distinct spec
+    fingerprints (the schedule is excluded -- this counts *programs
+    and invariants*, not shuffles of one program)."""
+    budget = settings().max_examples
+    specs = {
+        fingerprint(
+            FuzzCase(spec=random_case(random.Random(seed)).spec, schedule=())
+        )
+        for seed in range(budget)
+    }
+    assert len(specs) >= min(budget, 200)
+    assert len(specs) >= 0.5 * budget
+
+
+# -- spec validation ----------------------------------------------------------
+
+
+def _spec(**overrides):
+    base = dict(
+        num_sites=2,
+        arrays=(ArraySpec("a0", 3, 5),),
+        families=(FamilySpec("T0", "buy", "a0"),),
+    )
+    base.update(overrides)
+    return FuzzSpec(**base)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        _spec(num_sites=1),
+        _spec(arrays=()),
+        _spec(families=()),
+        _spec(arrays=(ArraySpec("a0", 0, 5),)),
+        _spec(arrays=(ArraySpec("a0", 3, -1),)),
+        _spec(arrays=(ArraySpec("a0", 3, 5), ArraySpec("a0", 2, 4))),
+        _spec(families=(FamilySpec("T0", "steal", "a0"),)),
+        _spec(families=(FamilySpec("T0", "buy", "missing"),)),
+        _spec(families=(FamilySpec("T0", "buy", "a0", delta=0),)),
+        _spec(
+            arrays=(ArraySpec("a0", 1, 5),),
+            families=(FamilySpec("T0", "transfer", "a0"),),
+        ),
+        _spec(
+            families=(
+                FamilySpec("T0", "buy", "a0"),
+                FamilySpec("T0", "pay", "a0"),
+            )
+        ),
+    ],
+    ids=[
+        "one-site",
+        "no-arrays",
+        "no-families",
+        "zero-items",
+        "negative-initial",
+        "duplicate-array",
+        "unknown-kind",
+        "unknown-array",
+        "zero-delta",
+        "transfer-needs-two-items",
+        "duplicate-family",
+    ],
+)
+def test_bad_specs_fail_at_construction(spec):
+    with pytest.raises(WorkloadSpecError):
+        oracle_mod.FuzzWorkload(fuzz=spec)

@@ -1,0 +1,218 @@
+"""The scenario fleet: flash-sale, banking, quota.
+
+Three layers per workload:
+
+- **Theorem 3.8 serial equivalence** on probe-free schedules (probes
+  carry the weaker snapshot contract -- see ``tests/fuzz`` and
+  docs/FUZZING.md -- so the strict oracle here runs the write-bearing
+  mixes that must be *exactly* serial: logs and final state);
+- **the workload's own invariant** on protocol final state (never
+  oversold, money conserved, never over quota);
+- **spec validation**: a misconfigured workload must fail loudly at
+  construction with :class:`WorkloadSpecError`, not deep inside the
+  kernel.
+
+Fairness coverage for the fleet lives in ``test_fleet_fairness.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.lang.interp import evaluate
+from repro.workloads import (
+    BankingWorkload,
+    FlashSaleWorkload,
+    GeoMicroWorkload,
+    MicroWorkload,
+    QuotaWorkload,
+    TpccWorkload,
+    WorkloadSpecError,
+)
+
+
+def _assert_equivalent(cluster, workload, schedule):
+    state = dict(workload.initial_db)
+    for req in schedule:
+        result = cluster.submit(req.tx_name, req.params)
+        out = evaluate(
+            workload.reference_transaction(req.tx_name),
+            state,
+            params=req.params,
+        )
+        state = out.db
+        assert result.log == out.log, f"log diverged on {req.tx_name}"
+    final = cluster.global_state()
+    for key in set(state) | set(final):
+        assert state.get(key, 0) == final.get(key, 0), f"divergence on {key}"
+    return state
+
+
+# -- flash sale ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["default", "equal-split", "demand"])
+def test_flashsale_serial_equivalence(strategy):
+    workload = FlashSaleWorkload(
+        num_skus=4, hot_stock=25, cold_stock=12, peek_fraction=0.0
+    )
+    cluster = workload.build_homeostasis(strategy=strategy, validate=True)
+    rng = random.Random(11)
+    schedule = [workload.next_request(rng) for _ in range(250)]
+    state = _assert_equivalent(cluster, workload, schedule)
+    # The invariant the stock treaty encodes: never oversold.
+    assert all(level >= 0 for level in workload.stock_levels(state).values())
+
+
+def test_flashsale_sells_out_exactly():
+    """Checkout demand far past the stock drives the hot SKU to
+    exactly zero: the guard refuses every further decrement."""
+    workload = FlashSaleWorkload(
+        num_skus=2, hot_stock=10, cold_stock=10, restock_fraction=0.0,
+        peek_fraction=0.0,
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    sites = list(workload.sites)
+    for i in range(40):
+        cluster.submit(f"Checkout@s{sites[i % len(sites)]}", {"item": 0})
+    levels = workload.stock_levels(cluster.global_state())
+    assert levels[0] == 0
+    assert levels[1] == workload.cold_stock
+
+
+# -- banking ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["equal-split", "demand"])
+def test_banking_serial_equivalence(strategy):
+    workload = BankingWorkload(
+        num_accounts=5, num_sites=3, initial_balance=12, audit_fraction=0.0
+    )
+    cluster = workload.build_homeostasis(strategy=strategy, validate=True)
+    rng = random.Random(5)
+    schedule = [workload.next_request(rng) for _ in range(250)]
+    state = _assert_equivalent(cluster, workload, schedule)
+    deposited = sum(
+        req.params["amount"]
+        for req in schedule
+        if req.tx_name.startswith("Deposit@")
+    )
+    assert workload.conservation_violations(state, deposited) == []
+
+
+def test_banking_never_overdraws():
+    """Transfers drain one account from two sites at once; the
+    non-negative treaty refuses the crossing debit."""
+    workload = BankingWorkload(
+        num_accounts=3, num_sites=2, initial_balance=4,
+        deposit_fraction=0.0, audit_fraction=0.0,
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    for i in range(30):
+        cluster.submit(
+            f"Transfer@s{i % 2}", {"src": 0, "dst": 1 + i % 2, "amount": 2}
+        )
+    balances = workload.balances(cluster.global_state())
+    assert min(balances.values()) >= 0
+    assert workload.total_money(cluster.global_state()) == 3 * 4
+
+
+# -- quota --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["equal-split", "demand"])
+def test_quota_serial_equivalence(strategy):
+    workload = QuotaWorkload(
+        num_tenants=6, num_sites=2, limit=5, usage_fraction=0.0
+    )
+    cluster = workload.build_homeostasis(strategy=strategy, validate=True)
+    rng = random.Random(13)
+    schedule = [workload.next_request(rng) for _ in range(250)]
+    state = _assert_equivalent(cluster, workload, schedule)
+    assert workload.overruns(state) == []
+
+
+def test_quota_tenants_are_independent():
+    """Exhausting one tenant's limit must not cost another tenant a
+    single admissible hit -- the treaties are per-tenant."""
+    workload = QuotaWorkload(
+        num_tenants=4, num_sites=2, limit=6, usage_fraction=0.0
+    )
+    cluster = workload.build_homeostasis(strategy="equal-split", validate=True)
+    for i in range(12):  # hammer tenant 0 past its limit (rolls over)
+        cluster.submit(f"Hit@s{i % 2}", {"tenant": 0})
+    for site in (0, 1):
+        cluster.submit(f"Hit@s{site}", {"tenant": 1})
+    levels = workload.usage_levels(cluster.global_state())
+    assert workload.overruns(cluster.global_state()) == []
+    assert levels[1] == 2
+    assert levels[2] == levels[3] == 0
+
+
+# -- spec validation across the whole workload package ------------------------
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: FlashSaleWorkload(num_sites=1),
+        lambda: FlashSaleWorkload(num_skus=0),
+        lambda: FlashSaleWorkload(hot_stock=0),
+        lambda: FlashSaleWorkload(cold_stock=-3),
+        lambda: FlashSaleWorkload(hot_fraction=1.5),
+        lambda: FlashSaleWorkload(restock_fraction=0.7, peek_fraction=0.7),
+        lambda: FlashSaleWorkload(site_weights={0: 1.0, 9: 1.0}),
+        lambda: BankingWorkload(num_accounts=1),
+        lambda: BankingWorkload(num_sites=0),
+        lambda: BankingWorkload(initial_balance=-1),
+        lambda: BankingWorkload(deposit_fraction=2.0),
+        lambda: QuotaWorkload(num_tenants=0),
+        lambda: QuotaWorkload(limit=0),
+        lambda: QuotaWorkload(usage_fraction=1.0),
+        lambda: QuotaWorkload(num_sites=1),
+        lambda: MicroWorkload(num_sites=1),
+        lambda: MicroWorkload(num_items=0),
+        lambda: MicroWorkload(items_per_txn=9, num_items=4),
+        lambda: MicroWorkload(audit_fraction=-0.1),
+        lambda: MicroWorkload(initial_qty="plenty"),
+        lambda: GeoMicroWorkload(groups=()),
+        lambda: GeoMicroWorkload(groups=((0, 0),)),
+        lambda: GeoMicroWorkload(groups=((0, 1),), num_sites=1),
+        lambda: TpccWorkload(num_sites=1),
+        lambda: TpccWorkload(num_warehouses=0),
+        lambda: TpccWorkload(hotness=150),
+        lambda: TpccWorkload(mix=(0.9, 0.9, 0.1)),
+    ],
+    ids=[
+        "flashsale-one-site",
+        "flashsale-no-skus",
+        "flashsale-zero-stock",
+        "flashsale-negative-cold",
+        "flashsale-hot-fraction",
+        "flashsale-mix-overflow",
+        "flashsale-weight-site",
+        "banking-one-account",
+        "banking-no-sites",
+        "banking-negative-balance",
+        "banking-deposit-fraction",
+        "quota-no-tenants",
+        "quota-zero-limit",
+        "quota-usage-fraction",
+        "quota-one-site",
+        "micro-one-site",
+        "micro-no-items",
+        "micro-items-per-txn",
+        "micro-audit-fraction",
+        "micro-initial-qty",
+        "geo-no-groups",
+        "geo-repeated-site",
+        "geo-uncovered-site",
+        "tpcc-one-site",
+        "tpcc-no-warehouses",
+        "tpcc-hotness",
+        "tpcc-mix-sum",
+    ],
+)
+def test_bad_specs_fail_at_construction(build):
+    with pytest.raises(WorkloadSpecError):
+        build()

@@ -1,0 +1,108 @@
+"""Arbitration fairness under the fleet workloads.
+
+The flash sale is the starvation regime the credit ledger (PR 9) was
+built for: every site races violations of the *same* hot treaty, so
+elections are frequent and a pure site-id tie-break lets one site
+lose indefinitely.  These tests run the fleet's contested points
+under the concurrent kernel with coarse arbitration clocks (every
+in-window race ties, so the tie-break chain decides) and check the
+``SimResult.fairness`` plumbing end to end: elections are actually
+contested, per-site ledgers are recorded, and the budgeted credit
+policy bounds the worst losing streak.
+"""
+
+import pytest
+
+from repro.protocol.paxos_commit import NegotiationSpec
+from repro.sim.experiments import run_banking, run_flashsale, run_quota
+
+#: a clock so coarse every within-window vote ties (harness idiom)
+_COARSE_CLOCK = {"clock_quantum_ms": 1e6}
+
+
+def _fairness_point(runner, **kwargs):
+    return runner(
+        num_replicas=4,
+        clients_per_replica=8,
+        window_ms=10.0,
+        negotiation=NegotiationSpec(policy="credit"),
+        max_txns=900,
+        seed=0,
+        config_overrides=_COARSE_CLOCK,
+        **kwargs,
+    )
+
+
+def test_flashsale_fairness_is_recorded_and_bounded():
+    result = _fairness_point(
+        run_flashsale, mode="static", hot_stock=120, restock_fraction=0.0,
+        peek_fraction=0.0,
+    )
+    fairness = result.fairness
+    assert fairness["policy"] == "credit"
+    assert fairness["elections"] > 0, "hot-SKU point held no contested elections"
+    assert set(fairness["per_site"]) == {0, 1, 2, 3}
+    # Credit's construction bound: a loser accrues credit and must win
+    # before its streak passes the ledger budget.
+    assert fairness["max_consecutive_losses"] <= 3
+    for site, ledger in fairness["per_site"].items():
+        # ``elections`` counts contested groups only; wins also cover
+        # uncontested rounds, so the per-site bound is on losses.
+        assert ledger["losses"] <= fairness["elections"]
+        assert ledger["max_consecutive_losses"] <= fairness[
+            "max_consecutive_losses"
+        ]
+
+
+def test_flashsale_credit_bounds_what_priority_lets_grow():
+    point = dict(
+        mode="static", hot_stock=120, restock_fraction=0.0, peek_fraction=0.0,
+        num_replicas=4, clients_per_replica=8, window_ms=10.0,
+        max_txns=900, seed=0, config_overrides=_COARSE_CLOCK,
+    )
+    credit = run_flashsale(
+        negotiation=NegotiationSpec(policy="credit"), **point
+    ).fairness
+    priority = run_flashsale(
+        negotiation=NegotiationSpec(policy="priority"), **point
+    ).fairness
+    assert credit["elections"] > 0 and priority["elections"] > 0
+    assert (
+        credit["max_consecutive_losses"] <= priority["max_consecutive_losses"]
+    ), (
+        f"credit {credit['max_consecutive_losses']} vs priority "
+        f"{priority['max_consecutive_losses']}"
+    )
+
+
+def test_quota_hot_tenant_fairness():
+    result = _fairness_point(
+        run_quota, num_tenants=10, limit=8, hot_fraction=0.9,
+        usage_fraction=0.0,
+    )
+    fairness = result.fairness
+    assert fairness["elections"] > 0, "hot-tenant point held no elections"
+    assert fairness["max_consecutive_losses"] <= 3
+    assert all(
+        ledger["wait_p99"] >= ledger["wait_p50"]
+        for ledger in fairness["per_site"].values()
+    )
+
+
+def test_banking_hot_account_fairness():
+    result = _fairness_point(
+        run_banking, num_accounts=4, initial_balance=200, hot_fraction=0.9,
+        deposit_fraction=0.0, audit_fraction=0.0,
+    )
+    fairness = result.fairness
+    assert fairness["elections"] > 0, "hot-account point held no elections"
+    assert fairness["max_consecutive_losses"] <= 3
+
+
+@pytest.mark.parametrize("runner", [run_flashsale, run_banking, run_quota])
+def test_uncontested_points_record_empty_fairness(runner):
+    """The sequential kernel (window_ms=0, no NegotiationSpec) holds
+    no elections; the fairness block must say so, not lie."""
+    result = runner(max_txns=150, seed=0)
+    assert result.fairness["elections"] == 0
+    assert result.fairness["max_consecutive_losses"] == 0
